@@ -1,0 +1,79 @@
+//! The paper's hand-derived class-C plans (section 6, s9) versus our general
+//! strategy and the fixpoint baselines. The per-case plan exploits the ×/∃
+//! structure the paper derives from the resolution graph; magic cannot (it
+//! must materialize the unconstrained adorned predicate), so the expected
+//! shape is: paper plan ≤ magic ≈ semi-naive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recurs_core::algebra_plan::eval_plan;
+use recurs_core::paper_plans::{s9_plan_dvv, s9_plan_vvd};
+use recurs_datalog::adornment::QueryForm;
+use recurs_datalog::eval::semi_naive;
+use recurs_datalog::parser::{parse_atom, parse_program};
+use recurs_datalog::validate::validate_with_generic_exit;
+use recurs_datalog::{Database, Value};
+use recurs_workload::graphs::{random_digraph, random_relation};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn s9_db(n: u64) -> Database {
+    let mut db = Database::new();
+    db.insert_relation("A", random_digraph(n, n as usize, 31));
+    db.insert_relation("B", random_digraph(n, (n / 2) as usize, 32));
+    db.insert_relation("E", random_relation(3, (n / 2) as usize, n, 33));
+    db
+}
+
+fn s9_sweep(c: &mut Criterion) {
+    let f = validate_with_generic_exit(
+        &parse_program(
+            "P(x, y, z) :- A(x, y), B(u, v), P(u, z, v).\n\
+             P(x, y, z) :- E(x, y, z).",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("s9_paper_plans");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [100u64, 400] {
+        let db = s9_db(n);
+        let a = Value::from_u64(1);
+        let dvv_plan = s9_plan_dvv(a);
+        let q = parse_atom("P('1', y, z)").unwrap();
+
+        // Sanity: paper plan ≡ oracle before timing.
+        let got = eval_plan(&db, &dvv_plan).unwrap();
+        let (want, _) = recurs_core::oracle::ground_truth(&f, &db, &q).unwrap();
+        assert_eq!(got, want, "s9 paper plan diverged at n = {n}");
+
+        group.bench_with_input(BenchmarkId::new("paper_plan_dvv", n), &db, |b, db| {
+            b.iter(|| black_box(eval_plan(db, &dvv_plan).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("magic_dvv", n), &db, |b, db| {
+            let plan = recurs_core::magic::build_plan(&f, &QueryForm::parse("dvv"));
+            b.iter(|| black_box(recurs_core::magic::execute(&plan, db, &q).unwrap().0));
+        });
+        group.bench_with_input(BenchmarkId::new("semi_naive_dvv", n), &db, |b, db| {
+            b.iter(|| {
+                let mut db = db.clone();
+                semi_naive(&mut db, &f.to_program(), None).unwrap();
+                black_box(recurs_datalog::eval::answer_query(&db, &q).unwrap())
+            });
+        });
+
+        // The existence-check form.
+        let c_val = Value::from_u64(7);
+        let vvd_plan = s9_plan_vvd(c_val);
+        let qv = parse_atom("P(x, y, '7')").unwrap();
+        let got = eval_plan(&db, &vvd_plan).unwrap();
+        let (want, _) = recurs_core::oracle::ground_truth(&f, &db, &qv).unwrap();
+        assert_eq!(got, want, "s9 vvd paper plan diverged at n = {n}");
+        group.bench_with_input(BenchmarkId::new("paper_plan_vvd", n), &db, |b, db| {
+            b.iter(|| black_box(eval_plan(db, &vvd_plan).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, s9_sweep);
+criterion_main!(benches);

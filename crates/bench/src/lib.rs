@@ -1,0 +1,4 @@
+//! Bench-harness crate: see `benches/` and `src/bin/`.
+#![warn(missing_docs)]
+/// Re-export so the harness binaries share one version statement.
+pub const PAPER: &str = "Youn, Henschen & Han, SIGMOD 1988";

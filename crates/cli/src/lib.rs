@@ -1,0 +1,455 @@
+//! Library backing the `recurs` command-line tool: argument parsing, file
+//! loading, and the three commands (`classify`, `plan`, `run`, `figure`).
+//!
+//! The CLI reads a single source file holding a recursive formula, optional
+//! facts, and optional queries:
+//!
+//! ```text
+//! % transitive closure
+//! P(x, y) :- A(x, z), P(z, y).
+//! P(x, y) :- E(x, y).
+//!
+//! A(1, 2).  A(2, 3).  A(2, 4).
+//! E(1, 2).  E(2, 3).  E(2, 4).
+//!
+//! ?- P(1, y).
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use recurs_core::oracle::compare;
+use recurs_core::plan::plan_query;
+use recurs_core::report::{classification_report, plan_report};
+use recurs_datalog::adornment::QueryForm;
+use recurs_datalog::parser::parse;
+use recurs_datalog::rule::LinearRecursion;
+use recurs_datalog::validate::validate_with_generic_exit;
+use recurs_datalog::{Atom, Database};
+use recurs_igraph::build::resolution_graph;
+use recurs_igraph::dot::{to_ascii, to_dot};
+use std::fmt::Write as _;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `recurs classify <file>`
+    Classify {
+        /// Source file path.
+        file: String,
+    },
+    /// `recurs plan <file> [--form dvv]...`
+    Plan {
+        /// Source file path.
+        file: String,
+        /// Query-form patterns (`dvv`-style); defaults to the file's queries.
+        forms: Vec<String>,
+    },
+    /// `recurs run <file> [--check]`
+    Run {
+        /// Source file path.
+        file: String,
+        /// Also verify each answer set against the fixpoint oracle.
+        check: bool,
+    },
+    /// `recurs figure <file> [--levels k] [--dot]`
+    Figure {
+        /// Source file path.
+        file: String,
+        /// How many resolution graphs `G_1 … G_k` to print.
+        levels: usize,
+        /// Also emit Graphviz DOT.
+        dot: bool,
+    },
+    /// `recurs help`
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+recurs — classification and compilation of recursive formulas (SIGMOD 1988)
+
+USAGE:
+    recurs classify <file>                 classify the formula, print the report
+    recurs plan <file> [--form dvv]...     show the compiled plan per query form
+    recurs run <file> [--check]            answer the file's ?- queries
+                                           (--check: verify against the fixpoint)
+    recurs figure <file> [--levels K] [--dot]
+                                           print I-graph / resolution graphs
+    recurs help                            this text
+
+FILE FORMAT:
+    One linear recursive rule, optional exit rules, optional facts
+    (ground atoms), optional queries (?- P(1, y).). Comments start with %.
+";
+
+/// Parses command-line arguments (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let cmd = it.next().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "classify" => {
+            let file = it.next().ok_or("classify needs a file argument")?;
+            Ok(Command::Classify { file: file.clone() })
+        }
+        "plan" => {
+            let file = it.next().ok_or("plan needs a file argument")?;
+            let mut forms = Vec::new();
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--form" => {
+                        let f = rest
+                            .get(i + 1)
+                            .ok_or("--form needs a pattern such as dvv")?;
+                        forms.push((*f).clone());
+                        i += 2;
+                    }
+                    other => return Err(format!("unknown option `{other}`")),
+                }
+            }
+            Ok(Command::Plan {
+                file: file.clone(),
+                forms,
+            })
+        }
+        "run" => {
+            let file = it.next().ok_or("run needs a file argument")?;
+            let mut check = false;
+            for opt in it {
+                match opt.as_str() {
+                    "--check" => check = true,
+                    other => return Err(format!("unknown option `{other}`")),
+                }
+            }
+            Ok(Command::Run {
+                file: file.clone(),
+                check,
+            })
+        }
+        "figure" => {
+            let file = it.next().ok_or("figure needs a file argument")?;
+            let mut levels = 1usize;
+            let mut dot = false;
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--dot" => {
+                        dot = true;
+                        i += 1;
+                    }
+                    "--levels" => {
+                        let k = rest.get(i + 1).ok_or("--levels needs a number")?;
+                        levels = k
+                            .parse()
+                            .map_err(|_| format!("invalid level count `{k}`"))?;
+                        if levels == 0 {
+                            return Err("--levels must be at least 1".into());
+                        }
+                        i += 2;
+                    }
+                    other => return Err(format!("unknown option `{other}`")),
+                }
+            }
+            Ok(Command::Figure {
+                file: file.clone(),
+                levels,
+                dot,
+            })
+        }
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}
+
+/// A loaded source file: the validated formula, the fact database, and the
+/// queries.
+pub struct Loaded {
+    /// The validated linear recursion.
+    pub lr: LinearRecursion,
+    /// Facts from the file.
+    pub db: Database,
+    /// Queries from the file.
+    pub queries: Vec<Atom>,
+}
+
+/// Loads and validates a source text.
+pub fn load(source: &str) -> Result<Loaded, String> {
+    let parsed = parse(source).map_err(|e| format!("parse error: {e}"))?;
+    let mut db = Database::new();
+    let rules = db
+        .load_facts(&parsed.program)
+        .map_err(|e| format!("bad fact: {e}"))?;
+    let lr = validate_with_generic_exit(&rules).map_err(|e| format!("invalid program: {e}"))?;
+    // Make sure every EDB predicate at least exists (empty) so queries run.
+    for pred in lr.to_program().edb_predicates() {
+        if !db.contains(pred) {
+            let arity = lr
+                .to_program()
+                .rules
+                .iter()
+                .flat_map(|r| r.body.iter())
+                .find(|a| a.predicate == pred)
+                .map(Atom::arity)
+                .unwrap_or(0);
+            let _ = db.declare(pred, arity);
+        }
+    }
+    Ok(Loaded {
+        lr,
+        db,
+        queries: parsed.queries,
+    })
+}
+
+/// Runs a command against a source text, returning the printable output.
+pub fn run_on_source(cmd: &Command, source: &str) -> Result<String, String> {
+    let mut out = String::new();
+    match cmd {
+        Command::Help => out.push_str(USAGE),
+        Command::Classify { .. } => {
+            let loaded = load(source)?;
+            out.push_str(&classification_report(&loaded.lr));
+        }
+        Command::Plan { forms, .. } => {
+            let loaded = load(source)?;
+            let forms: Vec<QueryForm> = if forms.is_empty() {
+                if loaded.queries.is_empty() {
+                    // Default: single-d leading form.
+                    let n = loaded.lr.dimension();
+                    vec![QueryForm::parse(&format!("d{}", "v".repeat(n - 1)))]
+                } else {
+                    loaded.queries.iter().map(QueryForm::of_atom).collect()
+                }
+            } else {
+                forms.iter().map(|f| QueryForm::parse(f)).collect()
+            };
+            for form in forms {
+                if form.arity() != loaded.lr.dimension() {
+                    return Err(format!(
+                        "form {form} has arity {}, formula has dimension {}",
+                        form.arity(),
+                        loaded.lr.dimension()
+                    ));
+                }
+                out.push_str(&plan_report(&loaded.lr, &form));
+                out.push('\n');
+            }
+        }
+        Command::Run { check, .. } => {
+            let loaded = load(source)?;
+            if loaded.queries.is_empty() {
+                return Err("no ?- queries in the file".into());
+            }
+            for query in &loaded.queries {
+                let plan = plan_query(&loaded.lr, query);
+                let answers = plan
+                    .execute(&loaded.db, query)
+                    .map_err(|e| format!("execution failed: {e}"))?;
+                let _ = writeln!(out, "?- {query}   [{:?}]", plan.strategy);
+                if answers.arity() == 0 {
+                    let _ = writeln!(
+                        out,
+                        "{}",
+                        if answers.is_empty() { "no" } else { "yes" }
+                    );
+                } else {
+                    for t in answers.iter_sorted() {
+                        let row: Vec<&str> = t.iter().map(|v| v.as_str()).collect();
+                        let _ = writeln!(out, "  {}", row.join(", "));
+                    }
+                    let _ = writeln!(out, "  ({} answers)", answers.len());
+                }
+                if *check {
+                    let report = compare(&loaded.lr, &loaded.db, query)
+                        .map_err(|e| format!("oracle failed: {e}"))?;
+                    let _ = writeln!(
+                        out,
+                        "  oracle: {}",
+                        if report.agrees() { "agrees" } else { "DISAGREES" }
+                    );
+                    if !report.agrees() {
+                        return Err(format!("plan disagrees with the fixpoint on {query}"));
+                    }
+                }
+            }
+        }
+        Command::Figure { levels, dot, .. } => {
+            let loaded = load(source)?;
+            for k in 1..=*levels {
+                let rg = resolution_graph(&loaded.lr.recursive_rule, k);
+                let _ = writeln!(out, "--- G{k} ---");
+                out.push_str(&to_ascii(&rg.graph));
+                if *dot {
+                    out.push_str(&to_dot(&rg.graph, &format!("G{k}")));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TC: &str = "\
+P(x, y) :- A(x, z), P(z, y).
+P(x, y) :- E(x, y).
+A(1, 2). A(2, 3). A(2, 4).
+E(1, 2). E(2, 3). E(2, 4).
+?- P(1, y).
+?- P(1, 4).
+?- P(4, 1).
+";
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_args_variants() {
+        assert_eq!(
+            parse_args(&args(&["classify", "f.dl"])).unwrap(),
+            Command::Classify { file: "f.dl".into() }
+        );
+        assert_eq!(
+            parse_args(&args(&["plan", "f.dl", "--form", "dv"])).unwrap(),
+            Command::Plan {
+                file: "f.dl".into(),
+                forms: vec!["dv".into()]
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["run", "f.dl", "--check"])).unwrap(),
+            Command::Run {
+                file: "f.dl".into(),
+                check: true
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["figure", "f.dl", "--levels", "3", "--dot"])).unwrap(),
+            Command::Figure {
+                file: "f.dl".into(),
+                levels: 3,
+                dot: true
+            }
+        );
+        assert_eq!(parse_args(&args(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert!(parse_args(&args(&["bogus"])).is_err());
+        assert!(parse_args(&args(&["plan", "f.dl", "--form"])).is_err());
+        assert!(parse_args(&args(&["figure", "f.dl", "--levels", "0"])).is_err());
+    }
+
+    #[test]
+    fn classify_command_output() {
+        let out = run_on_source(
+            &Command::Classify { file: String::new() },
+            TC,
+        )
+        .unwrap();
+        assert!(out.contains("class    : A5"));
+        assert!(out.contains("strongly stable       : true"));
+    }
+
+    #[test]
+    fn run_command_answers_queries() {
+        let out = run_on_source(
+            &Command::Run {
+                file: String::new(),
+                check: true,
+            },
+            TC,
+        )
+        .unwrap();
+        // P(1, y): 2, 3, 4.
+        assert!(out.contains("(3 answers)"), "{out}");
+        // P(1, 4): yes; P(4, 1): no.
+        assert!(out.contains("yes"), "{out}");
+        assert!(out.contains("no"), "{out}");
+        assert!(out.contains("oracle: agrees"), "{out}");
+    }
+
+    #[test]
+    fn plan_command_uses_query_forms() {
+        let out = run_on_source(
+            &Command::Plan {
+                file: String::new(),
+                forms: vec!["dv".into(), "vv".into()],
+            },
+            TC,
+        )
+        .unwrap();
+        assert!(out.contains("P(dv)"));
+        assert!(out.contains("P(vv)"));
+        assert!(out.contains("compiled formula"));
+    }
+
+    #[test]
+    fn plan_command_rejects_bad_arity() {
+        let err = run_on_source(
+            &Command::Plan {
+                file: String::new(),
+                forms: vec!["dvv".into()],
+            },
+            TC,
+        )
+        .unwrap_err();
+        assert!(err.contains("arity"));
+    }
+
+    #[test]
+    fn figure_command_renders_levels() {
+        let out = run_on_source(
+            &Command::Figure {
+                file: String::new(),
+                levels: 2,
+                dot: true,
+            },
+            TC,
+        )
+        .unwrap();
+        assert!(out.contains("--- G1 ---"));
+        assert!(out.contains("--- G2 ---"));
+        assert!(out.contains("graph \"G2\""));
+    }
+
+    #[test]
+    fn load_rejects_invalid_programs() {
+        assert!(load("P(x, y) :- P(x, z), P(z, y).").is_err()); // non-linear
+        assert!(load("A(1, 2).").is_err()); // no recursion
+        assert!(load("P(x y) :-").is_err()); // syntax
+    }
+
+    #[test]
+    fn run_without_queries_is_an_error() {
+        let err = run_on_source(
+            &Command::Run {
+                file: String::new(),
+                check: false,
+            },
+            "P(x, y) :- A(x, z), P(z, y).\nP(x, y) :- E(x, y).",
+        )
+        .unwrap_err();
+        assert!(err.contains("no ?- queries"));
+    }
+
+    #[test]
+    fn missing_edb_relations_default_to_empty() {
+        // Facts only for A; E is declared empty, so queries return nothing
+        // rather than erroring.
+        let src = "P(x, y) :- A(x, z), P(z, y).\nP(x, y) :- E(x, y).\nA(1, 2).\n?- P(1, y).";
+        let out = run_on_source(
+            &Command::Run {
+                file: String::new(),
+                check: true,
+            },
+            src,
+        )
+        .unwrap();
+        assert!(out.contains("(0 answers)"), "{out}");
+    }
+}

@@ -1,0 +1,38 @@
+//! The `recurs` command-line tool. See [`recurs_cli::USAGE`].
+
+use recurs_cli::{parse_args, run_on_source, Command, USAGE};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match parse_args(&args) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let source = match &cmd {
+        Command::Help => String::new(),
+        Command::Classify { file }
+        | Command::Plan { file, .. }
+        | Command::Run { file, .. }
+        | Command::Figure { file, .. } => match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read {file}: {e}");
+                std::process::exit(2);
+            }
+        },
+    };
+    if matches!(cmd, Command::Help) {
+        println!("{USAGE}");
+        return;
+    }
+    match run_on_source(&cmd, &source) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

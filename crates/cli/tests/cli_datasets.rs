@@ -1,0 +1,103 @@
+//! Integration tests driving the CLI commands over the shipped `datasets/`
+//! files — the same flows a user runs from the shell.
+
+use recurs_cli::{run_on_source, Command};
+
+fn dataset(name: &str) -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../datasets");
+    std::fs::read_to_string(format!("{path}/{name}"))
+        .unwrap_or_else(|e| panic!("cannot read dataset {name}: {e}"))
+}
+
+#[test]
+fn transitive_closure_dataset_runs_checked() {
+    let src = dataset("transitive_closure.dl");
+    let out = run_on_source(
+        &Command::Run {
+            file: String::new(),
+            check: true,
+        },
+        &src,
+    )
+    .unwrap();
+    assert!(out.contains("[Counting]"), "{out}");
+    assert!(out.contains("yes"), "{out}");
+    assert!(out.contains("no"), "{out}");
+    assert!(!out.contains("DISAGREES"), "{out}");
+}
+
+#[test]
+fn transitive_closure_dataset_classifies() {
+    let src = dataset("transitive_closure.dl");
+    let out = run_on_source(
+        &Command::Classify { file: String::new() },
+        &src,
+    )
+    .unwrap();
+    assert!(out.contains("strongly stable       : true"), "{out}");
+}
+
+#[test]
+fn bounded_dataset_uses_bounded_strategy() {
+    let src = dataset("bounded_s8.dl");
+    let out = run_on_source(
+        &Command::Run {
+            file: String::new(),
+            check: true,
+        },
+        &src,
+    )
+    .unwrap();
+    assert!(out.contains("[Bounded]"), "{out}");
+    assert!(!out.contains("DISAGREES"), "{out}");
+}
+
+#[test]
+fn mixed_dataset_uses_magic_strategy() {
+    let src = dataset("mixed_s12.dl");
+    let out = run_on_source(
+        &Command::Run {
+            file: String::new(),
+            check: true,
+        },
+        &src,
+    )
+    .unwrap();
+    assert!(out.contains("[Magic]"), "{out}");
+    assert!(!out.contains("DISAGREES"), "{out}");
+}
+
+#[test]
+fn mixed_dataset_plan_shows_paper_formula() {
+    let src = dataset("mixed_s12.dl");
+    let out = run_on_source(
+        &Command::Plan {
+            file: String::new(),
+            forms: vec!["dvv".into()],
+        },
+        &src,
+    )
+    .unwrap();
+    // The paper's Example 14 plan shape.
+    assert!(out.contains("A-C-B"), "{out}");
+    assert!(out.contains("D^(k+1)"), "{out}");
+    assert!(out.contains("dvv → ddv"), "{out}");
+}
+
+#[test]
+fn figures_render_for_every_dataset() {
+    for name in ["transitive_closure.dl", "bounded_s8.dl", "mixed_s12.dl"] {
+        let src = dataset(name);
+        let out = run_on_source(
+            &Command::Figure {
+                file: String::new(),
+                levels: 2,
+                dot: false,
+            },
+            &src,
+        )
+        .unwrap();
+        assert!(out.contains("--- G1 ---"), "{name}: {out}");
+        assert!(out.contains("--- G2 ---"), "{name}: {out}");
+    }
+}

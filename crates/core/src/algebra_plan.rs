@@ -1,0 +1,258 @@
+//! An executable plan algebra mirroring the paper's plan notation: scans,
+//! selections, projections, joins, Cartesian products (×), existence gates
+//! (∃), unions, and the level union `∪ₖ F^k(base)`.
+//!
+//! The symbolic [`crate::formula`] module *displays* compiled formulas; this
+//! module *runs* them. It exists so the per-case plans the paper derives for
+//! individual formulas (section 6's s9 plans with × and ∃, for instance) can
+//! be written down exactly as published and executed — see
+//! [`crate::paper_plans`].
+
+use recurs_datalog::algebra;
+use recurs_datalog::database::Database;
+use recurs_datalog::error::DatalogError;
+use recurs_datalog::relation::Relation;
+use recurs_datalog::{Symbol, Value};
+
+/// An executable plan expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanExpr {
+    /// Scan a base relation.
+    Rel(Symbol),
+    /// The previous iterate inside an [`PlanExpr::Iterate`] step.
+    Prev,
+    /// σ — keep tuples with the given column values.
+    Select(Box<PlanExpr>, Vec<(usize, Value)>),
+    /// π — project columns (order given, repeats allowed).
+    Project(Box<PlanExpr>, Vec<usize>),
+    /// ⋈ — equi-join on (left column, right column) pairs; output is the
+    /// concatenation of both tuples.
+    Join(Box<PlanExpr>, Box<PlanExpr>, Vec<(usize, usize)>),
+    /// × — Cartesian product.
+    Product(Box<PlanExpr>, Box<PlanExpr>),
+    /// ∪ — union of same-arity expressions.
+    Union(Vec<PlanExpr>),
+    /// ∪ₖ F^k(base): evaluate `base`, then repeatedly substitute the result
+    /// for [`PlanExpr::Prev`] inside `step`; accumulate the union of all
+    /// iterates. Terminates when an iterate adds nothing new (sound because
+    /// each iterate is the image of the previous one under a fixed monotone
+    /// operator).
+    Iterate {
+        /// The level-0 term.
+        base: Box<PlanExpr>,
+        /// The level-(k+1) term as a function of level k (via `Prev`).
+        step: Box<PlanExpr>,
+    },
+    /// ∃cond → then: if `cond` is non-empty, the value of `then`, else the
+    /// empty relation of `then`'s arity. The paper's existence check.
+    ExistsThen {
+        /// The checked expression.
+        cond: Box<PlanExpr>,
+        /// Produced when the check passes.
+        then: Box<PlanExpr>,
+    },
+}
+
+impl PlanExpr {
+    /// Scan constructor.
+    pub fn rel(name: impl Into<Symbol>) -> PlanExpr {
+        PlanExpr::Rel(name.into())
+    }
+
+    /// σ with one condition.
+    pub fn select(self, col: usize, value: Value) -> PlanExpr {
+        PlanExpr::Select(Box::new(self), vec![(col, value)])
+    }
+
+    /// π.
+    pub fn project(self, cols: Vec<usize>) -> PlanExpr {
+        PlanExpr::Project(Box::new(self), cols)
+    }
+
+    /// ⋈.
+    pub fn join(self, right: PlanExpr, pairs: Vec<(usize, usize)>) -> PlanExpr {
+        PlanExpr::Join(Box::new(self), Box::new(right), pairs)
+    }
+
+    /// ×.
+    pub fn product(self, right: PlanExpr) -> PlanExpr {
+        PlanExpr::Product(Box::new(self), Box::new(right))
+    }
+}
+
+/// Evaluates a plan against a database. `prev` supplies the meaning of
+/// [`PlanExpr::Prev`] (only valid inside an `Iterate` step).
+pub fn eval_plan(db: &Database, plan: &PlanExpr) -> Result<Relation, DatalogError> {
+    eval_with_prev(db, plan, None)
+}
+
+fn eval_with_prev(
+    db: &Database,
+    plan: &PlanExpr,
+    prev: Option<&Relation>,
+) -> Result<Relation, DatalogError> {
+    match plan {
+        PlanExpr::Rel(name) => db.require(*name).cloned(),
+        PlanExpr::Prev => prev
+            .cloned()
+            .ok_or_else(|| DatalogError::UnknownRelation(Symbol::intern("<prev>"))),
+        PlanExpr::Select(input, conds) => {
+            let rel = eval_with_prev(db, input, prev)?;
+            Ok(algebra::select_eq_many(&rel, conds))
+        }
+        PlanExpr::Project(input, cols) => {
+            let rel = eval_with_prev(db, input, prev)?;
+            Ok(algebra::project(&rel, cols))
+        }
+        PlanExpr::Join(l, r, pairs) => {
+            let lr = eval_with_prev(db, l, prev)?;
+            let rr = eval_with_prev(db, r, prev)?;
+            Ok(algebra::join(&lr, &rr, pairs))
+        }
+        PlanExpr::Product(l, r) => {
+            let lr = eval_with_prev(db, l, prev)?;
+            let rr = eval_with_prev(db, r, prev)?;
+            Ok(algebra::product(&lr, &rr))
+        }
+        PlanExpr::Union(parts) => {
+            let mut out: Option<Relation> = None;
+            for p in parts {
+                let rel = eval_with_prev(db, p, prev)?;
+                out = Some(match out {
+                    None => rel,
+                    Some(acc) => algebra::union(&acc, &rel),
+                });
+            }
+            Ok(out.unwrap_or_else(|| Relation::new(0)))
+        }
+        PlanExpr::Iterate { base, step } => {
+            let mut current = eval_with_prev(db, base, prev)?;
+            let mut acc = current.clone();
+            loop {
+                let next = eval_with_prev(db, step, Some(&current))?;
+                let added = {
+                    let mut acc2 = acc.clone();
+                    let n = acc2.union_in_place(&next);
+                    acc = acc2;
+                    n
+                };
+                if added == 0 {
+                    // The next iterate is the image of `current` only; once
+                    // it is covered, all later iterates are covered too.
+                    return Ok(acc);
+                }
+                current = next;
+            }
+        }
+        PlanExpr::ExistsThen { cond, then } => {
+            let c = eval_with_prev(db, cond, prev)?;
+            let t = eval_with_prev(db, then, prev)?;
+            if c.is_empty() {
+                Ok(Relation::new(t.arity()))
+            } else {
+                Ok(t)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recurs_datalog::relation::tuple_u64;
+
+    fn v(n: u64) -> Value {
+        Value::from_u64(n)
+    }
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.insert_relation("A", Relation::from_pairs([(1, 2), (2, 3), (3, 4)]));
+        db.insert_relation("B", Relation::from_pairs([(2, 9), (3, 9)]));
+        db
+    }
+
+    #[test]
+    fn scan_select_project() {
+        let plan = PlanExpr::rel("A").select(0, v(2)).project(vec![1]);
+        let out = eval_plan(&db(), &plan).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&[v(3)]));
+    }
+
+    #[test]
+    fn join_and_product() {
+        let j = PlanExpr::rel("A").join(PlanExpr::rel("B"), vec![(1, 0)]);
+        let out = eval_plan(&db(), &j).unwrap();
+        assert_eq!(out.len(), 2); // A(1,2)⋈B(2,9), A(2,3)⋈B(3,9)
+        let p = PlanExpr::rel("A").product(PlanExpr::rel("B"));
+        assert_eq!(eval_plan(&db(), &p).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn union_dedups() {
+        let u = PlanExpr::Union(vec![PlanExpr::rel("A"), PlanExpr::rel("A")]);
+        assert_eq!(eval_plan(&db(), &u).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn iterate_computes_reachability() {
+        // base = {1}; step = π₁(Prev ⋈ A): forward closure of node 1.
+        let mut d = db();
+        d.insert_relation("S", Relation::from_tuples(1, [tuple_u64([1])]));
+        let plan = PlanExpr::Iterate {
+            base: Box::new(PlanExpr::rel("S")),
+            step: Box::new(
+                PlanExpr::Prev
+                    .join(PlanExpr::rel("A"), vec![(0, 0)])
+                    .project(vec![2]),
+            ),
+        };
+        let out = eval_plan(&d, &plan).unwrap();
+        assert_eq!(out.len(), 4); // 1, 2, 3, 4
+    }
+
+    #[test]
+    fn iterate_terminates_on_cycles() {
+        let mut d = Database::new();
+        d.insert_relation("A", Relation::from_pairs([(1, 2), (2, 3), (3, 1)]));
+        d.insert_relation("S", Relation::from_tuples(1, [tuple_u64([1])]));
+        let plan = PlanExpr::Iterate {
+            base: Box::new(PlanExpr::rel("S")),
+            step: Box::new(
+                PlanExpr::Prev
+                    .join(PlanExpr::rel("A"), vec![(0, 0)])
+                    .project(vec![2]),
+            ),
+        };
+        let out = eval_plan(&d, &plan).unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn exists_gates() {
+        let d = db();
+        let yes = PlanExpr::ExistsThen {
+            cond: Box::new(PlanExpr::rel("B").select(0, v(2))),
+            then: Box::new(PlanExpr::rel("A")),
+        };
+        assert_eq!(eval_plan(&d, &yes).unwrap().len(), 3);
+        let no = PlanExpr::ExistsThen {
+            cond: Box::new(PlanExpr::rel("B").select(0, v(77))),
+            then: Box::new(PlanExpr::rel("A")),
+        };
+        let out = eval_plan(&d, &no).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(out.arity(), 2); // arity of `then` preserved
+    }
+
+    #[test]
+    fn prev_outside_iterate_is_an_error() {
+        assert!(eval_plan(&db(), &PlanExpr::Prev).is_err());
+    }
+
+    #[test]
+    fn missing_relation_is_an_error() {
+        assert!(eval_plan(&db(), &PlanExpr::rel("Nope")).is_err());
+    }
+}

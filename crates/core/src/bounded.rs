@@ -1,0 +1,240 @@
+//! The bounded strategy (section 6 — "pseudo recursion").
+//!
+//! A bounded formula is equivalent to the finite union of its exit-closed
+//! expansions `0 ..= rank`, so a query is answered by evaluating each level
+//! as a non-recursive conjunctive query with the query constants pushed in
+//! first (the paper's selection-before-join discipline), and unioning the
+//! results. No fixpoint is ever run.
+
+use crate::classify::Classification;
+use crate::transform::to_nonrecursive_with_rank;
+use recurs_datalog::algebra::union;
+use recurs_datalog::database::Database;
+use recurs_datalog::error::DatalogError;
+use recurs_datalog::eval::eval_body;
+use recurs_datalog::relation::Relation;
+use recurs_datalog::rule::{LinearRecursion, Program, Rule};
+use recurs_datalog::subst::{unify_atoms, Subst};
+use recurs_datalog::term::Atom;
+use recurs_datalog::Symbol;
+use std::collections::HashMap;
+
+/// A compiled bounded plan: the non-recursive levels.
+#[derive(Debug, Clone)]
+pub struct BoundedPlan {
+    /// The rank bound used (number of recursive levels materialized).
+    pub rank: u64,
+    /// The equivalent non-recursive program (exit level + levels 1..=rank).
+    pub levels: Program,
+}
+
+/// Builds a bounded plan. Returns `None` if the formula is not bounded.
+pub fn build_plan(lr: &LinearRecursion) -> Option<BoundedPlan> {
+    let rank = Classification::of(&lr.recursive_rule).rank_bound()?;
+    Some(BoundedPlan {
+        rank,
+        levels: to_nonrecursive_with_rank(lr, rank),
+    })
+}
+
+/// Answers `query` by evaluating every level with the query constants pushed
+/// in (specializing each level rule's head against the query atom), and
+/// unioning the per-level answers. The result is over the query's distinct
+/// variables in first-occurrence order, matching
+/// [`recurs_datalog::eval::answer_query`].
+pub fn execute(
+    plan: &BoundedPlan,
+    db: &Database,
+    query: &Atom,
+) -> Result<Relation, DatalogError> {
+    let mut out: Option<Relation> = None;
+    for rule in &plan.levels.rules {
+        let level = eval_specialized(db, rule, query)?;
+        out = Some(match out {
+            None => level,
+            Some(acc) => union(&acc, &level),
+        });
+    }
+    Ok(out.unwrap_or_else(|| Relation::new(0)))
+}
+
+/// Specializes a non-recursive rule against a query atom (pushing query
+/// constants into the body — selection before join), evaluates the body,
+/// and projects onto the query's distinct variables in first-occurrence
+/// order. Repeated query variables induce equality selections.
+pub fn eval_specialized(
+    db: &Database,
+    rule: &Rule,
+    query: &Atom,
+) -> Result<Relation, DatalogError> {
+    debug_assert!(!rule.is_recursive(), "bounded levels are non-recursive");
+    // Rename the query's variables so they cannot clash with rule variables,
+    // remembering the mapping to restore projection order.
+    let mut fresh_counter = 0u32;
+    let mut renaming = Subst::new();
+    let mut query_vars: Vec<Symbol> = Vec::new(); // distinct, first-occurrence
+    let mut renamed_terms = Vec::with_capacity(query.terms.len());
+    for t in &query.terms {
+        match t.as_var() {
+            Some(v) => {
+                let renamed = match renaming.get(v) {
+                    Some(t) => *t,
+                    None => {
+                        let f = Symbol::fresh("q", &mut fresh_counter);
+                        renaming.bind(v, recurs_datalog::Term::Var(f));
+                        query_vars.push(v);
+                        recurs_datalog::Term::Var(f)
+                    }
+                };
+                renamed_terms.push(renamed);
+            }
+            None => renamed_terms.push(*t),
+        }
+    }
+    let renamed_query = Atom::new(query.predicate, renamed_terms);
+    let Some(mgu) = unify_atoms(&rule.head, &renamed_query) else {
+        // Head constants (if any) clash with the query: this level
+        // contributes nothing.
+        return Ok(Relation::new(query_vars.len()));
+    };
+    let specialized = mgu.apply_rule(rule);
+    let bindings = eval_body(db, &specialized.body, &HashMap::new())?;
+    // Each distinct query variable resolves (through the renaming and the
+    // unifier) to either a constant or a body variable with a column.
+    enum Out {
+        Fixed(recurs_datalog::Value),
+        Col(usize),
+    }
+    let mut outs: Vec<Out> = Vec::with_capacity(query_vars.len());
+    for &orig in &query_vars {
+        let renamed = *renaming.get(orig).expect("every query variable was renamed");
+        match mgu.resolve(renamed) {
+            recurs_datalog::Term::Const(c) => outs.push(Out::Fixed(c)),
+            recurs_datalog::Term::Var(v) => match bindings.column_of(v) {
+                Some(col) => outs.push(Out::Col(col)),
+                // Range-restricted rules always bind head variables, so this
+                // is unreachable for validated input.
+                None => return Err(DatalogError::UnboundVariable(v)),
+            },
+        }
+    }
+    let mut result = Relation::new(outs.len());
+    for row in bindings.rel.iter() {
+        result.insert(
+            outs.iter()
+                .map(|o| match o {
+                    Out::Fixed(c) => *c,
+                    Out::Col(i) => row[*i],
+                })
+                .collect(),
+        );
+    }
+    // Equality among repeated query variables is enforced by unification
+    // (both occurrences rename to the same fresh variable), so no
+    // post-selection is needed.
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recurs_datalog::eval::{answer_query, semi_naive};
+    use recurs_datalog::parser::{parse_atom, parse_program};
+    use recurs_datalog::relation::tuple_u64;
+    use recurs_datalog::validate::validate_with_generic_exit;
+
+    fn lr(src: &str) -> LinearRecursion {
+        validate_with_generic_exit(&parse_program(src).unwrap()).unwrap()
+    }
+
+    fn check(lr: &LinearRecursion, db: &Database, query: &str) {
+        let plan = build_plan(lr).expect("formula must be bounded");
+        let q = parse_atom(query).unwrap();
+        let got = execute(&plan, db, &q).unwrap();
+        let mut db2 = db.clone();
+        semi_naive(&mut db2, &lr.to_program(), None).unwrap();
+        let want = answer_query(&db2, &q).unwrap();
+        assert_eq!(got, want, "bounded ≠ oracle for {query}");
+    }
+
+    fn s8() -> LinearRecursion {
+        lr("P(x,y,z,u) :- A(x,y), B(y1,u), C(z1,u1), P(z,y1,z1,u1).\n\
+            P(x,y,z,u) :- E(x,y,z,u).")
+    }
+
+    fn s8_db() -> Database {
+        let mut db = Database::new();
+        db.insert_relation("A", Relation::from_pairs([(1, 2), (3, 4), (5, 6)]));
+        db.insert_relation("B", Relation::from_pairs([(2, 9), (4, 8), (6, 7)]));
+        db.insert_relation("C", Relation::from_pairs([(7, 2), (6, 4), (5, 5)]));
+        db.insert_relation(
+            "E",
+            Relation::from_tuples(
+                4,
+                [
+                    tuple_u64([3, 2, 7, 2]),
+                    tuple_u64([5, 4, 6, 4]),
+                    tuple_u64([1, 6, 5, 5]),
+                ],
+            ),
+        );
+        db
+    }
+
+    #[test]
+    fn s8_plan_has_rank_two() {
+        let plan = build_plan(&s8()).unwrap();
+        assert_eq!(plan.rank, 2);
+        assert_eq!(plan.levels.rules.len(), 3);
+    }
+
+    #[test]
+    fn s8_queries_match_oracle() {
+        let f = s8();
+        let db = s8_db();
+        check(&f, &db, "P(x, y, z, u)");
+        check(&f, &db, "P('1', y, z, u)");
+        check(&f, &db, "P(x, y, '5', u)");
+        check(&f, &db, "P('3', '2', '7', '2')");
+        check(&f, &db, "P('9', y, z, u)");
+    }
+
+    #[test]
+    fn s5_rotation_queries() {
+        let f = lr("P(x, y, z) :- P(y, z, x).");
+        let mut db = Database::new();
+        db.insert_relation(
+            "E",
+            Relation::from_tuples(3, [tuple_u64([1, 2, 3]), tuple_u64([4, 5, 6])]),
+        );
+        check(&f, &db, "P(x, y, z)");
+        check(&f, &db, "P('2', y, z)");
+        check(&f, &db, "P('3', '1', '2')");
+    }
+
+    #[test]
+    fn s10_acyclic_queries() {
+        let f = lr("P(x, y) :- B(y), C(x, y1), P(x1, y1).\nP(x, y) :- E(x, y).");
+        let mut db = Database::new();
+        db.insert_relation("B", Relation::from_tuples(1, [tuple_u64([5]), tuple_u64([6])]));
+        db.insert_relation("C", Relation::from_pairs([(1, 7), (2, 8)]));
+        db.insert_relation("E", Relation::from_pairs([(9, 7), (9, 8), (3, 5)]));
+        check(&f, &db, "P(x, y)");
+        check(&f, &db, "P('1', y)");
+        check(&f, &db, "P(x, '5')");
+    }
+
+    #[test]
+    fn repeated_query_variable() {
+        let f = s8();
+        let db = s8_db();
+        check(&f, &db, "P(x, x, z, u)");
+        check(&f, &db, "P(x, y, y, y)");
+    }
+
+    #[test]
+    fn unbounded_formula_has_no_plan() {
+        let f = lr("P(x, y) :- A(x, z), P(z, y).\nP(x, y) :- E(x, y).");
+        assert!(build_plan(&f).is_none());
+    }
+}

@@ -1,0 +1,521 @@
+//! The counting strategy: executable query evaluation for **stable**
+//! formulas (the paper's classes A1/A2, and A3–A5 after the
+//! unfold-to-stable transformation).
+//!
+//! A stable formula has one disjoint unit cycle per argument position, so
+//! the recursive rule factors into independent per-position *chains*:
+//!
+//! ```text
+//! P(x₁, …, xₙ) :- Step₁(x₁, y₁), …, Stepₙ(xₙ, yₙ), P(y₁, …, yₙ)
+//! ```
+//!
+//! where `Stepᵢ` is the join of the non-recursive atoms in position *i*'s
+//! component (for a self-loop, the identity, possibly filtered). Evaluation
+//! follows the paper's plan `σE, ∪k (σA^k ‖ σB^k)-C^k-E`:
+//!
+//! 1. **descend** — per bound position, the level-k frontier `Vᵢᵏ` is the
+//!    image of the query constant under `Stepᵢ` applied k times (the `σA^k`
+//!    branches, evaluated independently);
+//! 2. **exit** — the exit relation is semijoined against the level's
+//!    frontiers (`…-E`);
+//! 3. **ascend** — free positions are walked up k times (`C^k`) to produce
+//!    level-k answers.
+//!
+//! Levels are combined Horner-style (`∪ₖ Upᵏ(Dₖ) = D₀ ∪ Up(D₁ ∪ Up(…))`),
+//! and cyclic data is handled soundly: when the joint frontier state
+//! repeats with period p, the periodic tail is the least fixpoint of a
+//! p-step equation, computed by iteration-to-convergence. This makes the
+//! counting method terminate on *all* databases, not just acyclic ones.
+
+use recurs_datalog::algebra::{project, union};
+use recurs_datalog::database::Database;
+use recurs_datalog::error::DatalogError;
+use recurs_datalog::eval::{eval_body, eval_rule};
+use recurs_datalog::relation::{Relation, Tuple};
+use recurs_datalog::rule::LinearRecursion;
+use recurs_datalog::term::{Atom, Value};
+use recurs_datalog::Symbol;
+use recurs_igraph::condense::condense;
+use recurs_igraph::igraph_of;
+use std::collections::{BTreeSet, HashMap};
+
+/// One argument position's chain.
+#[derive(Debug, Clone)]
+pub struct PositionChain {
+    /// The head variable (top of the chain).
+    pub top: Symbol,
+    /// The recursive-atom variable (bottom of the chain).
+    pub bottom: Symbol,
+    /// The non-recursive atoms of this position's component. Empty together
+    /// with `top == bottom` means the chain is the identity (class A2).
+    pub atoms: Vec<Atom>,
+}
+
+impl PositionChain {
+    /// True if the chain is a pure identity (no step relation needed).
+    pub fn is_identity(&self) -> bool {
+        self.atoms.is_empty() && self.top == self.bottom
+    }
+}
+
+/// A compiled counting plan for a stable formula.
+#[derive(Debug, Clone)]
+pub struct CountingPlan {
+    /// The stable formula (already transformed if the original was A3–A5).
+    pub lr: LinearRecursion,
+    /// One chain per argument position.
+    pub chains: Vec<PositionChain>,
+    /// Atoms in trivial components (no argument position touches them);
+    /// they gate levels ≥ 1 by non-emptiness, one conjunction per component.
+    pub guards: Vec<Vec<Atom>>,
+}
+
+/// Builds the counting plan. The formula must be strongly stable
+/// (`Classification::is_strongly_stable`); returns `None` otherwise.
+pub fn build_plan(lr: &LinearRecursion) -> Option<CountingPlan> {
+    let classification = crate::classify::Classification::of(&lr.recursive_rule);
+    if !classification.is_strongly_stable() {
+        return None;
+    }
+    let rule = &lr.recursive_rule;
+    let condensed = condense(&igraph_of(rule));
+    let rec_atom = lr.recursive_body_atom().clone();
+    let n = lr.dimension();
+    // Map: group id → position (each group hosts at most one directed edge
+    // in a stable formula).
+    let mut group_position: HashMap<usize, usize> = HashMap::new();
+    for e in &condensed.edges {
+        debug_assert_eq!(e.from, e.to, "stable formulas have only self-loops");
+        let prior = group_position.insert(e.from, e.position);
+        debug_assert!(prior.is_none(), "stable formulas have disjoint cycles");
+    }
+    // Assign each non-recursive atom to its group (all its variables share
+    // one group by construction of the condensation).
+    let mut group_atoms: HashMap<usize, Vec<Atom>> = HashMap::new();
+    for atom in lr.nonrecursive_body_atoms() {
+        let var = atom
+            .variables()
+            .next()
+            .expect("atoms in the fragment have at least one variable");
+        group_atoms
+            .entry(condensed.group(var))
+            .or_default()
+            .push(atom.clone());
+    }
+    let mut chains = Vec::with_capacity(n);
+    for i in 0..n {
+        let top = rule.head.terms[i].as_var().expect("validated variable");
+        let bottom = rec_atom.terms[i].as_var().expect("validated variable");
+        let group = condensed.group(top);
+        let atoms = group_atoms.remove(&group).unwrap_or_default();
+        chains.push(PositionChain { top, bottom, atoms });
+    }
+    // Whatever atoms remain live in trivial components.
+    let guards: Vec<Vec<Atom>> = group_atoms.into_values().collect();
+    Some(CountingPlan {
+        lr: lr.clone(),
+        chains,
+        guards,
+    })
+}
+
+/// A materialized step relation: columns `(top, bottom)`, or `None` for the
+/// identity chain.
+type StepRel = Option<Relation>;
+
+fn materialize_step(db: &Database, chain: &PositionChain) -> Result<StepRel, DatalogError> {
+    if chain.is_identity() {
+        return Ok(None);
+    }
+    let bindings = eval_body(db, &chain.atoms, &HashMap::new())?;
+    Ok(Some(bindings.project_vars(&[chain.top, chain.bottom])?))
+}
+
+/// Advances a frontier one level down: `{bottom | (top, bottom) ∈ step, top ∈ v}`.
+fn advance(v: &BTreeSet<Value>, step: &StepRel) -> BTreeSet<Value> {
+    match step {
+        None => v.clone(),
+        Some(rel) => rel
+            .iter()
+            .filter(|t| v.contains(&t[0]))
+            .map(|t| t[1])
+            .collect(),
+    }
+}
+
+/// Walks a relation's column `col` one level up through `step`
+/// (bottom → top).
+fn walk_up(x: &Relation, col: usize, step: &StepRel) -> Relation {
+    match step {
+        None => x.clone(),
+        Some(rel) => {
+            // Index step by bottom value.
+            let mut idx: HashMap<Value, Vec<Value>> = HashMap::new();
+            for t in rel.iter() {
+                idx.entry(t[1]).or_default().push(t[0]);
+            }
+            let mut out = Relation::new(x.arity());
+            for t in x.iter() {
+                if let Some(tops) = idx.get(&t[col]) {
+                    for &top in tops {
+                        let mut nt: Vec<Value> = t.to_vec();
+                        nt[col] = top;
+                        out.insert(Tuple::from(nt));
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Executes the counting plan for a query atom over the recursive predicate.
+/// Returns the answer relation over the query's free positions, in position
+/// order (for an all-bound query the result has arity 0 and is non-empty iff
+/// the query holds).
+pub fn execute(
+    plan: &CountingPlan,
+    db: &Database,
+    query: &Atom,
+) -> Result<Relation, DatalogError> {
+    assert_eq!(
+        query.predicate, plan.lr.predicate,
+        "query must target the recursive predicate"
+    );
+    assert_eq!(query.arity(), plan.lr.dimension(), "query arity mismatch");
+    let n = plan.lr.dimension();
+    let bound: Vec<usize> = (0..n).filter(|&i| !query.terms[i].is_var()).collect();
+    let free: Vec<usize> = (0..n).filter(|&i| query.terms[i].is_var()).collect();
+
+    // Materialize per-position step relations and the full exit relation.
+    let steps: Vec<StepRel> = plan
+        .chains
+        .iter()
+        .map(|c| materialize_step(db, c))
+        .collect::<Result<_, _>>()?;
+    let mut exit = Relation::new(n);
+    for rule in &plan.lr.exit_rules {
+        exit.union_in_place(&eval_rule(db, rule, &HashMap::new())?);
+    }
+    // Trivial components gate levels ≥ 1.
+    let mut guard_ok = true;
+    for atoms in &plan.guards {
+        if eval_body(db, atoms, &HashMap::new())?.rel.is_empty() {
+            guard_ok = false;
+            break;
+        }
+    }
+
+    // Level-k answer contribution, over the free columns, before up-walking.
+    let level_d = |frontiers: &[BTreeSet<Value>]| -> Relation {
+        let mut out = Relation::new(free.len());
+        'tuples: for t in exit.iter() {
+            for (bi, &pos) in bound.iter().enumerate() {
+                if !frontiers[bi].contains(&t[pos]) {
+                    continue 'tuples;
+                }
+            }
+            out.insert(free.iter().map(|&pos| t[pos]).collect());
+        }
+        out
+    };
+    // One full up-step over all free positions.
+    let up = |x: &Relation| -> Relation {
+        let mut cur = x.clone();
+        for (fi, &pos) in free.iter().enumerate() {
+            cur = walk_up(&cur, fi, &steps[pos]);
+            if cur.is_empty() {
+                break;
+            }
+        }
+        cur
+    };
+
+    // Phase 1: descend, recording per-level D until the frontier state
+    // repeats or dies.
+    let mut frontiers: Vec<BTreeSet<Value>> = bound
+        .iter()
+        .map(|&pos| {
+            let c = query.terms[pos]
+                .as_const()
+                .expect("bound positions hold constants");
+            BTreeSet::from([c])
+        })
+        .collect();
+    let mut ds: Vec<Relation> = Vec::new();
+    let mut seen: HashMap<Vec<Vec<Value>>, usize> = HashMap::new();
+    let mut tail: Option<(usize, usize)> = None; // (start level j, period p)
+    let max_levels = level_cap(db);
+    let mut converged = false;
+    for k in 0..=max_levels {
+        let state: Vec<Vec<Value>> = frontiers
+            .iter()
+            .map(|v| v.iter().copied().collect())
+            .collect();
+        if let Some(&j) = seen.get(&state) {
+            tail = Some((j, k - j));
+            converged = true;
+            break;
+        }
+        if frontiers.iter().any(|v| v.is_empty()) && !bound.is_empty() {
+            converged = true;
+            break; // dead frontier: no level ≥ k contributes
+        }
+        seen.insert(state, k);
+        let d = level_d(&frontiers);
+        if k >= 1 && !guard_ok {
+            // A trivial component is empty: levels ≥ 1 are unsatisfiable.
+            converged = true;
+            break;
+        }
+        ds.push(d);
+        for (bi, &pos) in bound.iter().enumerate() {
+            frontiers[bi] = advance(&frontiers[bi], &steps[pos]);
+        }
+        if bound.is_empty() {
+            // The state is constant; detect the 1-cycle immediately at k=1.
+            continue;
+        }
+    }
+
+    if !converged {
+        // The frontier trajectory did not repeat within the budget (possible
+        // on data whose disjoint cycle lengths have a huge lcm). Refuse to
+        // answer rather than truncate; the planner falls back to the general
+        // strategy, which always terminates.
+        return Err(DatalogError::LimitExceeded {
+            what: "counting frontier levels",
+            limit: max_levels,
+        });
+    }
+
+    // Phase 2: periodic tail as a least fixpoint, when needed. The tail
+    // satisfies T = D_j ∪ Up(D_{j+1} ∪ … ∪ Up(D_{j+p-1} ∪ Up(T)) …); Kleene
+    // iteration over the finite active domain converges to its lfp, which
+    // equals the infinite union ∪_{m≥j} Up^{m-j}(D_m).
+    let tail_rel = match tail {
+        Some((j, p)) if guard_ok => {
+            let mut t = Relation::new(free.len());
+            loop {
+                let mut next = t.clone();
+                for m in (j..j + p).rev() {
+                    next = union(&ds[m], &up(&next));
+                }
+                if next == t {
+                    break;
+                }
+                t = next;
+            }
+            Some((j, t))
+        }
+        _ => None,
+    };
+
+    // Phase 3: Horner from the deepest recorded level down to 0:
+    // answer = D_0 ∪ Up(D_1 ∪ Up(… ∪ Up(T) …)).
+    let (mut a, start) = match tail_rel {
+        Some((j, t)) => (t, j),
+        None => (Relation::new(free.len()), ds.len()),
+    };
+    for m in (0..start).rev() {
+        a = union(&ds[m], &up(&a));
+    }
+
+    // Repeated query variables: equality-select, then keep first occurrences
+    // (matching `eval::answer_query`'s projection).
+    let mut first: HashMap<Symbol, usize> = HashMap::new();
+    let mut keep: Vec<usize> = Vec::new();
+    let mut result = a;
+    for (fi, &pos) in free.iter().enumerate() {
+        let v = query.terms[pos].as_var().expect("free positions are variables");
+        if let Some(&fj) = first.get(&v) {
+            result = recurs_datalog::algebra::select_col_eq(&result, fj, fi);
+        } else {
+            first.insert(v, fi);
+            keep.push(fi);
+        }
+    }
+    Ok(project(&result, &keep))
+}
+
+/// The level budget for the descent phase. The frontier trajectory is
+/// deterministic over a finite state space, so it always becomes periodic —
+/// but on adversarial data (disjoint cycles with coprime lengths) the period
+/// is the lcm of the cycle lengths, which can exceed any linear budget. When
+/// the budget is hit, [`execute`] returns [`DatalogError::LimitExceeded`]
+/// and the planner falls back to the general strategy.
+fn level_cap(db: &Database) -> usize {
+    16 * db.total_tuples() + 256
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recurs_datalog::eval::semi_naive;
+    use recurs_datalog::parser::{parse_atom, parse_program};
+    use recurs_datalog::relation::tuple_u64;
+    use recurs_datalog::validate::validate_with_generic_exit;
+
+    fn stable_lr(src: &str) -> LinearRecursion {
+        validate_with_generic_exit(&parse_program(src).unwrap()).unwrap()
+    }
+
+    /// Oracle: semi-naive fixpoint + selection + projection.
+    fn oracle(lr: &LinearRecursion, db: &Database, query: &Atom) -> Relation {
+        let mut db = db.clone();
+        semi_naive(&mut db, &lr.to_program(), None).unwrap();
+        recurs_datalog::eval::answer_query(&db, query).unwrap()
+    }
+
+    fn check(lr: &LinearRecursion, db: &Database, query: &str) {
+        let plan = build_plan(lr).expect("formula must be stable");
+        let q = parse_atom(query).unwrap();
+        let got = execute(&plan, db, &q).unwrap();
+        let want = oracle(lr, db, &q);
+        assert_eq!(got, want, "counting ≠ oracle for {query}");
+    }
+
+    fn tc() -> LinearRecursion {
+        stable_lr("P(x, y) :- A(x, z), P(z, y).\nP(x, y) :- E(x, y).")
+    }
+
+    #[test]
+    fn plan_structure_for_s3() {
+        let lr = stable_lr(
+            "P(x,y,z) :- A(x,u), B(y,v), P(u,v,w), C(w,z).\nP(x,y,z) :- E(x,y,z).",
+        );
+        let plan = build_plan(&lr).unwrap();
+        assert_eq!(plan.chains.len(), 3);
+        assert!(plan.guards.is_empty());
+        assert_eq!(plan.chains[0].atoms[0].predicate, Symbol::intern("A"));
+        assert_eq!(plan.chains[1].atoms[0].predicate, Symbol::intern("B"));
+        assert_eq!(plan.chains[2].atoms[0].predicate, Symbol::intern("C"));
+        assert!(!plan.chains[0].is_identity());
+    }
+
+    #[test]
+    fn transitive_closure_bound_first() {
+        let lr = tc();
+        let mut db = Database::new();
+        db.insert_relation("A", Relation::from_pairs([(1, 2), (2, 3), (3, 4)]));
+        db.insert_relation("E", Relation::from_pairs([(1, 2), (2, 3), (3, 4)]));
+        check(&lr, &db, "P('1', y)");
+        check(&lr, &db, "P('2', y)");
+        check(&lr, &db, "P('9', y)"); // no such source
+    }
+
+    #[test]
+    fn transitive_closure_on_cyclic_data_terminates() {
+        let lr = tc();
+        let mut db = Database::new();
+        let cyc = Relation::from_pairs([(1, 2), (2, 3), (3, 1), (3, 4)]);
+        db.insert_relation("A", cyc.clone());
+        db.insert_relation("E", cyc);
+        check(&lr, &db, "P('1', y)");
+        check(&lr, &db, "P('4', y)");
+    }
+
+    #[test]
+    fn free_queries_compute_full_closure() {
+        let lr = tc();
+        let mut db = Database::new();
+        db.insert_relation("A", Relation::from_pairs([(1, 2), (2, 3), (3, 1)]));
+        db.insert_relation("E", Relation::from_pairs([(1, 2), (2, 3), (3, 1)]));
+        check(&lr, &db, "P(x, y)");
+    }
+
+    #[test]
+    fn second_position_bound() {
+        let lr = tc();
+        let mut db = Database::new();
+        db.insert_relation("A", Relation::from_pairs([(1, 2), (2, 3), (3, 4)]));
+        db.insert_relation("E", Relation::from_pairs([(1, 2), (2, 3), (3, 4)]));
+        // y bound: the identity chain on position 1 keeps the frontier fixed.
+        check(&lr, &db, "P(x, '4')");
+        check(&lr, &db, "P(x, '1')");
+    }
+
+    #[test]
+    fn fully_bound_existence_query() {
+        let lr = tc();
+        let mut db = Database::new();
+        db.insert_relation("A", Relation::from_pairs([(1, 2), (2, 3)]));
+        db.insert_relation("E", Relation::from_pairs([(1, 2), (2, 3)]));
+        let plan = build_plan(&lr).unwrap();
+        let yes = execute(&plan, &db, &parse_atom("P('1', '3')").unwrap()).unwrap();
+        assert!(!yes.is_empty());
+        let no = execute(&plan, &db, &parse_atom("P('3', '1')").unwrap()).unwrap();
+        assert!(no.is_empty());
+    }
+
+    #[test]
+    fn s3_three_dimensional_query() {
+        let lr = stable_lr(
+            "P(x,y,z) :- A(x,u), B(y,v), P(u,v,w), C(w,z).\nP(x,y,z) :- E(x,y,z).",
+        );
+        let mut db = Database::new();
+        db.insert_relation("A", Relation::from_pairs([(1, 2), (2, 3)]));
+        db.insert_relation("B", Relation::from_pairs([(4, 5), (5, 6)]));
+        db.insert_relation("C", Relation::from_pairs([(7, 8), (8, 9)]));
+        db.insert_relation("E", Relation::from_tuples(3, [tuple_u64([3, 6, 7])]));
+        // Paper's representative query P(a, b, Z):
+        check(&lr, &db, "P('1', '4', z)");
+        check(&lr, &db, "P('2', '5', z)");
+        check(&lr, &db, "P(x, y, z)");
+        check(&lr, &db, "P(x, '4', '9')");
+    }
+
+    #[test]
+    fn guards_gate_recursive_levels() {
+        // D(a,b) is a trivial component: if D is empty, only the exit level
+        // contributes.
+        let lr = stable_lr(
+            "P(x, y) :- A(x, z), D(a, b), P(z, y).\nP(x, y) :- E(x, y).",
+        );
+        let plan = build_plan(&lr).unwrap();
+        assert_eq!(plan.guards.len(), 1);
+        let mut db = Database::new();
+        db.insert_relation("A", Relation::from_pairs([(1, 2), (2, 3)]));
+        db.insert_relation("E", Relation::from_pairs([(1, 2), (2, 3)]));
+        db.insert_relation("D", Relation::new(2));
+        check(&lr, &db, "P('1', y)");
+        // Non-empty guard: full recursion.
+        db.insert_relation("D", Relation::from_pairs([(7, 7)]));
+        check(&lr, &db, "P('1', y)");
+    }
+
+    #[test]
+    fn identity_chain_with_filter() {
+        // B(y) filters the identity position each level.
+        let lr = stable_lr("P(x, y) :- A(x, z), B(y), P(z, y).\nP(x, y) :- E(x, y).");
+        let plan = build_plan(&lr).unwrap();
+        assert!(!plan.chains[1].is_identity()); // has the B filter
+        let mut db = Database::new();
+        db.insert_relation("A", Relation::from_pairs([(1, 2), (2, 3)]));
+        db.insert_relation("E", Relation::from_pairs([(1, 5), (2, 6), (3, 5)]));
+        db.insert_relation("B", Relation::from_tuples(1, [tuple_u64([5])]));
+        check(&lr, &db, "P('1', y)");
+        check(&lr, &db, "P(x, y)");
+    }
+
+    #[test]
+    fn multiple_exit_rules() {
+        let lr = stable_lr(
+            "P(x, y) :- A(x, z), P(z, y).\nP(x, y) :- E(x, y).\nP(x, y) :- F(y, x).",
+        );
+        let mut db = Database::new();
+        db.insert_relation("A", Relation::from_pairs([(1, 2), (2, 3)]));
+        db.insert_relation("E", Relation::from_pairs([(2, 9)]));
+        db.insert_relation("F", Relation::from_pairs([(8, 3)]));
+        check(&lr, &db, "P('1', y)");
+        check(&lr, &db, "P(x, y)");
+    }
+
+    #[test]
+    fn non_stable_formula_has_no_plan() {
+        let lr = stable_lr(
+            "P(x, y, z) :- A(x, y), B(u, v), P(u, z, v).\nP(x, y, z) :- E(x, y, z).",
+        );
+        assert!(build_plan(&lr).is_none());
+    }
+}

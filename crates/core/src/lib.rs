@@ -1,0 +1,70 @@
+//! `recurs-core` — classification, compilation and query planning for linear
+//! recursive formulas in deductive databases.
+//!
+//! This crate implements the primary contribution of *Classification of
+//! Recursive Formulas in Deductive Databases* (Youn, Henschen & Han, SIGMOD
+//! 1988):
+//!
+//! * the full **classification** A1–A5 / B / C / D / E / F over the
+//!   condensed I-graph ([`classify`]);
+//! * **strong stability**, both syntactically and semantically, with
+//!   Theorem 1's equivalence checkable on any rule ([`stability`]);
+//! * the **transformations**: unfold-to-stable for class A (Theorems 2/4)
+//!   and bounded-to-nonrecursive (Ioannidis's theorem, Theorems 10/11)
+//!   ([`transform`]);
+//! * symbolic **compiled formulas** in the paper's σ/⋈/×/∃/∪ₖ notation
+//!   ([`formula`]);
+//! * three executable **strategies** — [`bounded`], [`counting`], and
+//!   [`magic`] — selected per class by the [`plan`] module;
+//! * an equivalence [`oracle`] certifying every plan against the semi-naive
+//!   fixpoint, and human-readable [`report`]s.
+//!
+//! # Quick example
+//!
+//! ```
+//! use recurs_core::classify::{Classification, FormulaClass};
+//! use recurs_core::plan::{plan_query, StrategyKind};
+//! use recurs_datalog::parser::{parse_atom, parse_program};
+//! use recurs_datalog::validate::validate_with_generic_exit;
+//! use recurs_datalog::{Database, Relation};
+//!
+//! let lr = validate_with_generic_exit(&parse_program(
+//!     "P(x, y) :- A(x, z), P(z, y).\n\
+//!      P(x, y) :- E(x, y).",
+//! ).unwrap()).unwrap();
+//!
+//! let class = Classification::of(&lr.recursive_rule);
+//! assert!(class.is_strongly_stable()); // Theorem 1: disjoint unit cycles
+//!
+//! let mut db = Database::new();
+//! db.insert_relation("A", Relation::from_pairs([(1, 2), (2, 3)]));
+//! db.insert_relation("E", Relation::from_pairs([(1, 2), (2, 3)]));
+//! let query = parse_atom("P('1', y)").unwrap();
+//! let plan = plan_query(&lr, &query);
+//! assert_eq!(plan.strategy, StrategyKind::Counting);
+//! assert_eq!(plan.execute(&db, &query).unwrap().len(), 2); // 1 → {2, 3}
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod algebra_plan;
+pub mod bounded;
+pub mod classify;
+pub mod compress;
+pub mod counting;
+pub mod formula;
+pub mod magic;
+pub mod oracle;
+pub mod paper_plans;
+pub mod plan;
+pub mod report;
+pub mod stability;
+pub mod transform;
+
+pub use classify::{Classification, ComponentClass, FormulaClass, OneDirectionalSubclass};
+pub use formula::{CompiledFormula, FExpr, Power};
+pub use plan::{plan_for_form, plan_query, QueryPlan, StrategyKind};
+pub use algebra_plan::{eval_plan, PlanExpr};
+pub use compress::{compress, Compressed};
+pub use transform::{to_nonrecursive, unfold_to_stable, StableTransform};

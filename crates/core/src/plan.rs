@@ -1,0 +1,556 @@
+//! Query planning: class-driven strategy selection and compiled-formula
+//! generation.
+//!
+//! Given a validated linear recursion and a query atom, [`plan_query`]
+//! classifies the formula and picks the executable strategy:
+//!
+//! | class | strategy |
+//! |-------|----------|
+//! | bounded (B, D, pure permutational, bounded mixes) | [`crate::bounded`] — finite union of non-recursive levels |
+//! | A1–A5 (after unfold-to-stable if needed) | [`crate::counting`] — per-position chains, σ-first |
+//! | C, E, F (and anything else) | [`crate::magic`] — adorned magic sets |
+//!
+//! The plan also carries the symbolic [`CompiledFormula`] in the paper's
+//! notation, generated from the same structural analysis.
+
+use crate::bounded::{self, BoundedPlan};
+use crate::classify::Classification;
+use crate::counting::{self, CountingPlan};
+use crate::formula::{CompiledFormula, FExpr, Power};
+use crate::magic::{self, MagicPlan};
+use crate::transform::{unfold_to_stable, StableTransform};
+use recurs_datalog::adornment::QueryForm;
+use recurs_datalog::database::Database;
+use recurs_datalog::error::DatalogError;
+use recurs_datalog::relation::Relation;
+use recurs_datalog::rule::{LinearRecursion, Rule};
+use recurs_datalog::term::Atom;
+use recurs_datalog::Symbol;
+use std::collections::BTreeSet;
+
+/// Which executable strategy a plan uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// Finite union of exit-closed expansions (pseudo recursion).
+    Bounded,
+    /// Counting over per-position chains (stable formulas).
+    Counting,
+    /// Adorned magic-sets rewrite (the general method).
+    Magic,
+}
+
+enum PlanImpl {
+    Bounded(BoundedPlan),
+    Counting(CountingPlan),
+    Magic(MagicPlan),
+}
+
+/// A fully prepared query plan.
+pub struct QueryPlan {
+    /// The classification that drove strategy selection.
+    pub classification: Classification,
+    /// The strategy chosen.
+    pub strategy: StrategyKind,
+    /// The unfold-to-stable transformation, when one was applied (A3–A5).
+    pub transform: Option<StableTransform>,
+    /// The compiled formula in the paper's notation.
+    pub compiled: CompiledFormula,
+    /// The query form the plan serves.
+    pub form: QueryForm,
+    inner: PlanImpl,
+}
+
+impl QueryPlan {
+    /// Executes the plan. The result is over the query's distinct variables
+    /// in first-occurrence order (arity 0 for a fully bound query — then
+    /// non-emptiness means "yes").
+    pub fn execute(&self, db: &Database, query: &Atom) -> Result<Relation, DatalogError> {
+        assert_eq!(
+            QueryForm::of_atom(query),
+            self.form,
+            "query does not match the plan's form"
+        );
+        match &self.inner {
+            PlanImpl::Bounded(p) => bounded::execute(p, db, query),
+            PlanImpl::Counting(p) => match counting::execute(p, db, query) {
+                // Counting refuses to answer when the frontier trajectory
+                // did not repeat within budget (data with astronomically
+                // long periods); the general strategy always terminates, so
+                // fall back transparently.
+                Err(DatalogError::LimitExceeded { .. }) => {
+                    let fallback = magic::build_plan(&p.lr, &self.form);
+                    magic::execute(&fallback, db, query).map(|(r, _)| r)
+                }
+                other => other,
+            },
+            PlanImpl::Magic(p) => magic::execute(p, db, query).map(|(r, _)| r),
+        }
+    }
+
+    /// For a magic plan: the rewritten (adorned + magic) Datalog program the
+    /// plan evaluates — the executable form of the paper's information
+    /// passing. `None` for other strategies.
+    pub fn rewrite_program(&self) -> Option<&recurs_datalog::Program> {
+        match &self.inner {
+            PlanImpl::Magic(p) => Some(&p.program),
+            _ => None,
+        }
+    }
+
+    /// For a bounded plan: the equivalent non-recursive levels (the paper's
+    /// s8a′/s8b′-style rules). `None` for other strategies.
+    pub fn bounded_levels(&self) -> Option<&recurs_datalog::Program> {
+        match &self.inner {
+            PlanImpl::Bounded(p) => Some(&p.levels),
+            _ => None,
+        }
+    }
+
+    /// For a counting plan: the per-position chains as `(top, bottom,
+    /// predicate labels)` triples. `None` for other strategies.
+    pub fn counting_chains(&self) -> Option<Vec<(Symbol, Symbol, Vec<Symbol>)>> {
+        match &self.inner {
+            PlanImpl::Counting(p) => Some(
+                p.chains
+                    .iter()
+                    .map(|c| {
+                        (
+                            c.top,
+                            c.bottom,
+                            c.atoms.iter().map(|a| a.predicate).collect(),
+                        )
+                    })
+                    .collect(),
+            ),
+            _ => None,
+        }
+    }
+}
+
+/// Plans a query against a linear recursion.
+pub fn plan_query(lr: &LinearRecursion, query: &Atom) -> QueryPlan {
+    assert_eq!(query.predicate, lr.predicate, "query predicate mismatch");
+    let form = QueryForm::of_atom(query);
+    plan_for_form(lr, &form)
+}
+
+/// Plans for a query form (the shape `P(d, v, …)` without the constants).
+pub fn plan_for_form(lr: &LinearRecursion, form: &QueryForm) -> QueryPlan {
+    let classification = Classification::of(&lr.recursive_rule);
+    // 1. Bounded formulas with a *proven* rank bound: the finite union
+    //    always wins — no fixpoint at all. (Bounded mixtures without a
+    //    proven bound — Theorem 11's rotating-permutational + B/D case —
+    //    fall through to the general strategy, which still terminates.)
+    if let Some(plan) = bounded::build_plan(lr) {
+        let compiled = compiled_bounded(&plan);
+        return QueryPlan {
+            classification,
+            strategy: StrategyKind::Bounded,
+            transform: None,
+            compiled,
+            form: form.clone(),
+            inner: PlanImpl::Bounded(plan),
+        };
+    }
+    // 2. Class A: transform to stable if needed, then count.
+    if classification.is_transformable_to_stable() {
+        let transform = unfold_to_stable(lr).expect("class A is transformable");
+        let stable = transform.to_linear_recursion();
+        let plan = counting::build_plan(&stable)
+            .expect("the unfolded formula is strongly stable");
+        let compiled = compiled_counting(&plan, form);
+        return QueryPlan {
+            classification,
+            strategy: StrategyKind::Counting,
+            transform: Some(transform),
+            compiled,
+            form: form.clone(),
+            inner: PlanImpl::Counting(plan),
+        };
+    }
+    // 3. Everything else: magic sets.
+    let plan = magic::build_plan(lr, form);
+    let compiled = compiled_magic(lr, form);
+    QueryPlan {
+        classification,
+        strategy: StrategyKind::Magic,
+        transform: None,
+        compiled,
+        form: form.clone(),
+        inner: PlanImpl::Magic(plan),
+    }
+}
+
+/// Renders a bounded plan: `σ<level0>, σ<level1>, …` — one selection-pushed
+/// conjunction per materialized level.
+fn compiled_bounded(plan: &BoundedPlan) -> CompiledFormula {
+    let parts = plan
+        .levels
+        .rules
+        .iter()
+        .map(|rule| FExpr::Sigma(Box::new(chain_of_rule(rule))))
+        .collect();
+    CompiledFormula {
+        strategy: format!("bounded: finite union of {} levels (rank {})",
+            plan.levels.rules.len(), plan.rank),
+        parts,
+    }
+}
+
+fn chain_of_rule(rule: &Rule) -> FExpr {
+    let mut parts: Vec<FExpr> = rule
+        .body
+        .iter()
+        .map(|a| FExpr::rel(a.predicate.as_str()))
+        .collect();
+    if parts.len() == 1 {
+        parts.pop().expect("non-empty")
+    } else {
+        FExpr::Seq(parts)
+    }
+}
+
+/// Renders a counting plan in the paper's style for a query form:
+/// `σE, ∪k[{σA^k ‖ σB^k}-E-C^k]`.
+fn compiled_counting(plan: &CountingPlan, form: &QueryForm) -> CompiledFormula {
+    let bound: BTreeSet<usize> = form.determined_positions().collect();
+    let mut down: Vec<FExpr> = Vec::new();
+    let mut up: Vec<FExpr> = Vec::new();
+    for (i, chain) in plan.chains.iter().enumerate() {
+        if chain.is_identity() {
+            continue;
+        }
+        let label: String = chain
+            .atoms
+            .iter()
+            .map(|a| a.predicate.as_str())
+            .collect::<Vec<_>>()
+            .join("");
+        if bound.contains(&i) {
+            down.push(FExpr::Sigma(Box::new(FExpr::rel(label))).pow(Power::K));
+        } else {
+            up.push(FExpr::rel(label).pow(Power::K));
+        }
+    }
+    let mut level = match down.len() {
+        0 => None,
+        1 => Some(down.pop().expect("one element")),
+        _ => Some(FExpr::Par(down)),
+    };
+    let exit = FExpr::rel("E");
+    let mut seq = match level.take() {
+        Some(d) => d.then(exit),
+        None => exit,
+    };
+    for u in up {
+        seq = seq.then(u);
+    }
+    CompiledFormula {
+        strategy: "counting over per-position chains (stable formula)".into(),
+        parts: vec![FExpr::sigma("E"), FExpr::UnionK(Box::new(seq))],
+    }
+}
+
+/// Renders a best-effort compiled formula for the magic strategy from the
+/// propagation trace: the σ-chains of the pre-periodic forms, the periodic
+/// segment raised to `^k`, the exit, and any chains outside every closure
+/// rendered as the up-phase. For the paper's dependent/mixed examples this
+/// reproduces the published plans (σA-C-B-[{A‖B}-C]^k-…-E); for class C the
+/// disconnected part shows up as a trailing product/existence note in the
+/// strategy string.
+fn compiled_magic(lr: &LinearRecursion, form: &QueryForm) -> CompiledFormula {
+    let rule = &lr.recursive_rule;
+    let p = lr.predicate;
+    // Propagation trace with cycle detection.
+    let mut trace = vec![form.clone()];
+    let cycle_start = loop {
+        let next = recurs_datalog::adornment::propagate(rule, trace.last().expect("non-empty"));
+        if let Some(idx) = trace.iter().position(|f| *f == next) {
+            break idx;
+        }
+        trace.push(next);
+    };
+    let chain_for = |f: &QueryForm| -> Option<FExpr> {
+        let seed: BTreeSet<Symbol> = f
+            .determined_positions()
+            .filter_map(|i| rule.head.terms[i].as_var())
+            .collect();
+        closure_chain(lr, &seed)
+    };
+    let mut seq: Option<FExpr> = None;
+    let push = |part: FExpr, seq: &mut Option<FExpr>| {
+        *seq = Some(match seq.take() {
+            None => part,
+            Some(s) => s.then(part),
+        });
+    };
+    for f in &trace[..cycle_start] {
+        if let Some(c) = chain_for(f) {
+            push(c, &mut seq);
+        }
+    }
+    // Periodic segment.
+    let cyclic: Vec<FExpr> = trace[cycle_start..].iter().filter_map(chain_for).collect();
+    if !cyclic.is_empty() {
+        let inner = if cyclic.len() == 1 {
+            cyclic.into_iter().next().expect("one element")
+        } else {
+            FExpr::Seq(cyclic)
+        };
+        push(inner.pow(Power::K), &mut seq);
+    }
+    push(FExpr::rel("E"), &mut seq);
+    // Atoms outside every closure: the up-phase / disconnected part.
+    let all_closure: BTreeSet<Symbol> = trace
+        .iter()
+        .flat_map(|f| {
+            let seed: BTreeSet<Symbol> = f
+                .determined_positions()
+                .filter_map(|i| rule.head.terms[i].as_var())
+                .collect();
+            recurs_datalog::adornment::determined_closure(rule, p, &seed)
+        })
+        .collect();
+    let mut outside: Vec<&str> = Vec::new();
+    for atom in lr.nonrecursive_body_atoms() {
+        if !atom.variables().any(|v| all_closure.contains(&v)) {
+            outside.push(atom.predicate.as_str());
+        }
+    }
+    for name in &outside {
+        push(FExpr::rel(*name).pow(Power::KPlus1), &mut seq);
+    }
+    let body = FExpr::Sigma(Box::new(seq.expect("at least the exit")));
+    CompiledFormula {
+        strategy: if outside.is_empty() {
+            "magic-sets information passing (general method)".into()
+        } else {
+            format!(
+                "magic-sets information passing; {} disconnected from the query constants \
+                 (Cartesian product / existence check at evaluation)",
+                outside.join(", ")
+            )
+        },
+        parts: vec![FExpr::sigma("E"), FExpr::UnionK(Box::new(body))],
+    }
+}
+
+/// Orders the atoms of the determined closure by evaluability rounds
+/// (selection-first): round 1 holds atoms touching the seed, round 2 atoms
+/// touching round 1's variables, … Atoms sharing a round render as parallel
+/// branches. Returns `None` if the closure is empty.
+fn closure_chain(lr: &LinearRecursion, seed: &BTreeSet<Symbol>) -> Option<FExpr> {
+    let mut determined = seed.clone();
+    let mut remaining: Vec<&Atom> = lr.nonrecursive_body_atoms().collect();
+    let mut rounds: Vec<Vec<&Atom>> = Vec::new();
+    loop {
+        let (this_round, rest): (Vec<&Atom>, Vec<&Atom>) = remaining
+            .iter()
+            .partition(|a| a.variables().any(|v| determined.contains(&v)));
+        if this_round.is_empty() {
+            break;
+        }
+        for a in &this_round {
+            for v in a.variables() {
+                determined.insert(v);
+            }
+        }
+        rounds.push(this_round);
+        remaining = rest;
+    }
+    if rounds.is_empty() {
+        return None;
+    }
+    let mut seq: Option<FExpr> = None;
+    for round in rounds {
+        let part = if round.len() == 1 {
+            FExpr::rel(round[0].predicate.as_str())
+        } else {
+            FExpr::Par(
+                round
+                    .iter()
+                    .map(|a| FExpr::rel(a.predicate.as_str()))
+                    .collect(),
+            )
+        };
+        seq = Some(match seq {
+            None => part,
+            Some(s) => s.then(part),
+        });
+    }
+    seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recurs_datalog::eval::{answer_query, semi_naive};
+    use recurs_datalog::parser::{parse_atom, parse_program};
+    use recurs_datalog::relation::tuple_u64;
+    use recurs_datalog::validate::validate_with_generic_exit;
+
+    fn lr(src: &str) -> LinearRecursion {
+        validate_with_generic_exit(&parse_program(src).unwrap()).unwrap()
+    }
+
+    fn check(f: &LinearRecursion, db: &Database, query: &str, expect: StrategyKind) {
+        let q = parse_atom(query).unwrap();
+        let plan = plan_query(f, &q);
+        assert_eq!(plan.strategy, expect, "strategy for {query}");
+        let got = plan.execute(db, &q).unwrap();
+        let mut db2 = db.clone();
+        semi_naive(&mut db2, &f.to_program(), None).unwrap();
+        let want = answer_query(&db2, &q).unwrap();
+        assert_eq!(got, want, "plan ≠ oracle for {query}");
+    }
+
+    #[test]
+    fn stable_formula_uses_counting() {
+        let f = lr("P(x, y) :- A(x, z), P(z, y).\nP(x, y) :- E(x, y).");
+        let mut db = Database::new();
+        db.insert_relation("A", Relation::from_pairs([(1, 2), (2, 3), (3, 4)]));
+        db.insert_relation("E", Relation::from_pairs([(1, 2), (2, 3), (3, 4)]));
+        check(&f, &db, "P('1', y)", StrategyKind::Counting);
+        check(&f, &db, "P(x, y)", StrategyKind::Counting);
+    }
+
+    #[test]
+    fn a3_formula_transforms_then_counts() {
+        let f = lr("P(x1,x2,x3) :- A(x1,y3), B(x2,y1), C(y2,x3), P(y1,y2,y3).\n\
+                    P(x1,x2,x3) :- E(x1,x2,x3).");
+        let mut db = Database::new();
+        db.insert_relation("A", Relation::from_pairs([(1, 2), (2, 3), (3, 4), (4, 5)]));
+        db.insert_relation("B", Relation::from_pairs([(11, 12), (12, 13), (13, 14)]));
+        db.insert_relation("C", Relation::from_pairs([(21, 22), (22, 23), (23, 24)]));
+        db.insert_relation(
+            "E",
+            Relation::from_tuples(3, [tuple_u64([2, 12, 22]), tuple_u64([4, 11, 23])]),
+        );
+        let q = parse_atom("P('1', '11', z)").unwrap();
+        let plan = plan_query(&f, &q);
+        assert_eq!(plan.strategy, StrategyKind::Counting);
+        assert_eq!(plan.transform.as_ref().unwrap().period, 3);
+        check(&f, &db, "P('1', '11', z)", StrategyKind::Counting);
+        check(&f, &db, "P(x, y, z)", StrategyKind::Counting);
+    }
+
+    #[test]
+    fn bounded_formula_uses_bounded() {
+        let f = lr("P(x,y,z,u) :- A(x,y), B(y1,u), C(z1,u1), P(z,y1,z1,u1).\n\
+                    P(x,y,z,u) :- E(x,y,z,u).");
+        let mut db = Database::new();
+        db.insert_relation("A", Relation::from_pairs([(1, 2)]));
+        db.insert_relation("B", Relation::from_pairs([(2, 9)]));
+        db.insert_relation("C", Relation::from_pairs([(7, 2)]));
+        db.insert_relation("E", Relation::from_tuples(4, [tuple_u64([3, 2, 7, 2])]));
+        check(&f, &db, "P(x, y, z, u)", StrategyKind::Bounded);
+        check(&f, &db, "P('1', y, z, u)", StrategyKind::Bounded);
+    }
+
+    #[test]
+    fn class_c_uses_magic() {
+        let f = lr("P(x, y, z) :- A(x, y), B(u, v), P(u, z, v).\n\
+                    P(x, y, z) :- E(x, y, z).");
+        let mut db = Database::new();
+        db.insert_relation("A", Relation::from_pairs([(1, 2)]));
+        db.insert_relation("B", Relation::from_pairs([(5, 6)]));
+        db.insert_relation("E", Relation::from_tuples(3, [tuple_u64([5, 9, 6])]));
+        check(&f, &db, "P('1', y, z)", StrategyKind::Magic);
+    }
+
+    #[test]
+    fn class_e_uses_magic() {
+        let f = lr("P(x, y) :- A(x, x1), B(y, y1), C(x1, y1), P(x1, y1).\n\
+                    P(x, y) :- E(x, y).");
+        let mut db = Database::new();
+        db.insert_relation("A", Relation::from_pairs([(1, 2), (2, 3)]));
+        db.insert_relation("B", Relation::from_pairs([(11, 12)]));
+        db.insert_relation("C", Relation::from_pairs([(2, 12)]));
+        db.insert_relation("E", Relation::from_pairs([(2, 12), (1, 11)]));
+        check(&f, &db, "P('1', y)", StrategyKind::Magic);
+    }
+
+    #[test]
+    fn compiled_formula_for_s3() {
+        let f = lr("P(x,y,z) :- A(x,u), B(y,v), P(u,v,w), C(w,z).\n\
+                    P(x,y,z) :- E(x,y,z).");
+        let plan = plan_for_form(&f, &QueryForm::parse("ddv"));
+        assert_eq!(
+            plan.compiled.to_string(),
+            "σE,  ∪k[{σA^k ‖ σB^k}-E-C^k]"
+        );
+    }
+
+    #[test]
+    fn compiled_formula_for_s11_matches_paper() {
+        // Paper (Example 11): σE, σA-C-B-E, ∪k σA-C-B-[{A‖B}-C]^k-C-E …
+        // Our renderer folds the pre-period into the same ∪k term:
+        let f = lr("P(x, y) :- A(x, x1), B(y, y1), C(x1, y1), P(x1, y1).\n\
+                    P(x, y) :- E(x, y).");
+        let plan = plan_for_form(&f, &QueryForm::parse("dv"));
+        let s = plan.compiled.to_string();
+        assert!(s.starts_with("σE,"), "{s}");
+        assert!(s.contains("A-C-B"), "paper's σA-C-B chain missing: {s}");
+        assert!(s.contains("^k"), "{s}");
+    }
+
+    #[test]
+    fn compiled_formula_for_s12_matches_paper() {
+        // Paper (Example 14): ∪k σA-C-B-[{A‖B}-C]^k-E-D^(k+1).
+        let f = lr("P(x,y,z) :- A(x,u), B(y,v), C(u,v), D(w,z), P(u,v,w).\n\
+                    P(x,y,z) :- E(x,y,z).");
+        let plan = plan_for_form(&f, &QueryForm::parse("dvv"));
+        let s = plan.compiled.to_string();
+        assert!(s.contains("A-C-B"), "{s}");
+        assert!(s.contains("{A ‖ B}-C"), "{s}");
+        assert!(s.contains("D^(k+1)"), "{s}");
+    }
+
+    #[test]
+    fn bounded_compiled_formula_lists_levels() {
+        let f = lr("P(x, y, z) :- P(y, z, x).");
+        let plan = plan_for_form(&f, &QueryForm::parse("vvv"));
+        assert_eq!(plan.strategy, StrategyKind::Bounded);
+        // Exit + 2 rotations: three σ-terms.
+        assert_eq!(plan.compiled.parts.len(), 3);
+    }
+
+    #[test]
+    fn plan_introspection_matches_strategy() {
+        let stable = lr("P(x, y) :- A(x, z), P(z, y).\nP(x, y) :- E(x, y).");
+        let p = plan_for_form(&stable, &QueryForm::parse("dv"));
+        assert!(p.rewrite_program().is_none());
+        assert!(p.bounded_levels().is_none());
+        let chains = p.counting_chains().expect("counting plan");
+        assert_eq!(chains.len(), 2);
+        assert_eq!(chains[0].2, vec![Symbol::intern("A")]);
+        assert!(chains[1].2.is_empty()); // identity position
+
+        let bounded = lr("P(x, y, z) :- P(y, z, x).");
+        let p = plan_for_form(&bounded, &QueryForm::parse("vvv"));
+        assert_eq!(p.bounded_levels().unwrap().rules.len(), 3);
+        assert!(p.counting_chains().is_none());
+
+        let dependent = lr("P(x, y) :- A(x, x1), B(y, y1), C(x1, y1), P(x1, y1).\n\
+                            P(x, y) :- E(x, y).");
+        let p = plan_for_form(&dependent, &QueryForm::parse("dv"));
+        let program = p.rewrite_program().expect("magic plan");
+        // Adorned exit + adorned recursive + magic rule for the dv form,
+        // plus the same for the reachable dd form.
+        assert!(program.rules.len() >= 4);
+        assert!(program
+            .rules
+            .iter()
+            .any(|r| r.head.predicate.as_str().starts_with("magic__")));
+    }
+
+    #[test]
+    fn fully_bound_queries_all_strategies() {
+        let stable = lr("P(x, y) :- A(x, z), P(z, y).\nP(x, y) :- E(x, y).");
+        let mut db = Database::new();
+        db.insert_relation("A", Relation::from_pairs([(1, 2), (2, 3)]));
+        db.insert_relation("E", Relation::from_pairs([(1, 2), (2, 3)]));
+        check(&stable, &db, "P('1', '3')", StrategyKind::Counting);
+        check(&stable, &db, "P('3', '1')", StrategyKind::Counting);
+    }
+}

@@ -1,0 +1,166 @@
+//! Strong stability (section 4.1, Theorem 1).
+//!
+//! A recursive formula is *strongly stable* if, for **any** query, the
+//! determined variables of the recursive predicate in the consequent and in
+//! the antecedent occur in the same positions. Theorem 1 proves this
+//! semantic property equivalent to the syntactic one: the I-graph consists
+//! of disjoint unit cycles only.
+//!
+//! Both characterizations are implemented here — the syntactic one via the
+//! classification, the semantic one by checking determined-variable
+//! propagation over every query form — so the equivalence can be tested
+//! rather than assumed.
+
+use crate::classify::Classification;
+use recurs_datalog::adornment::{propagate, ArgBinding, QueryForm};
+use recurs_datalog::rule::Rule;
+
+/// Semantic strong stability: every query form maps to itself under
+/// determined-variable propagation.
+///
+/// The check is exhaustive over the 2ⁿ query forms; formulas in the paper's
+/// fragment have small dimension, and stability under all the single-`d`
+/// forms already implies stability in general (closures of unions are unions
+/// of closures), so this is cheap in practice.
+pub fn is_strongly_stable_semantic(rule: &Rule) -> bool {
+    let n = rule.head.arity();
+    // Propagation distributes over unions of determined seeds, so checking
+    // the n singleton forms suffices; the exhaustive loop below is kept for
+    // dimensions ≤ 12 as an executable statement of the definition.
+    if n <= 12 {
+        for mask in 0u32..(1 << n) {
+            let form = QueryForm(
+                (0..n)
+                    .map(|i| {
+                        if mask & (1 << i) != 0 {
+                            ArgBinding::Determined
+                        } else {
+                            ArgBinding::Free
+                        }
+                    })
+                    .collect(),
+            );
+            if propagate(rule, &form) != form {
+                return false;
+            }
+        }
+        true
+    } else {
+        (0..n).all(|i| {
+            let form = QueryForm(
+                (0..n)
+                    .map(|j| {
+                        if i == j {
+                            ArgBinding::Determined
+                        } else {
+                            ArgBinding::Free
+                        }
+                    })
+                    .collect(),
+            );
+            propagate(rule, &form) == form
+        })
+    }
+}
+
+/// Syntactic strong stability (Theorem 1): only disjoint unit cycles.
+pub fn is_strongly_stable_syntactic(rule: &Rule) -> bool {
+    Classification::of(rule).is_strongly_stable()
+}
+
+/// Checks Theorem 1 on a rule: the two characterizations must agree.
+/// Returns the common verdict.
+///
+/// # Panics
+/// Panics if the characterizations disagree — that would falsify Theorem 1
+/// (or reveal an implementation bug); the property-test suite drives this
+/// over randomly generated rules.
+pub fn check_theorem_1(rule: &Rule) -> bool {
+    let semantic = is_strongly_stable_semantic(rule);
+    let syntactic = is_strongly_stable_syntactic(rule);
+    assert_eq!(
+        semantic, syntactic,
+        "Theorem 1 violated for {rule}: semantic={semantic}, syntactic={syntactic}"
+    );
+    semantic
+}
+
+/// The smallest expansion index k₀ ≥ 0 such that the propagation pattern for
+/// `form` repeats from k₀ on with period 1 (the formula behaves stably for
+/// this query from expansion k₀), if that happens within `max_steps`.
+///
+/// Example 14 (s12): for `P(d,v,v)` the formula "becomes stable from the
+/// second expansion" — this function returns 1 (the pattern met at
+/// expansion 1 persists).
+pub fn stable_from(rule: &Rule, form: &QueryForm, max_steps: usize) -> Option<usize> {
+    let mut current = form.clone();
+    for k in 0..=max_steps {
+        let next = propagate(rule, &current);
+        if next == current {
+            return Some(k);
+        }
+        current = next;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recurs_datalog::parser::parse_rule;
+
+    fn rule(src: &str) -> Rule {
+        parse_rule(src).unwrap()
+    }
+
+    #[test]
+    fn theorem_1_on_paper_examples() {
+        // Stable formulas.
+        for src in [
+            "P(x, y) :- A(x, z), P(z, y).",
+            "P(x,y,z) :- A(x,u), B(y,v), P(u,v,w), C(w,z).",
+            "P(x, y) :- A(x, u), B(x, z), C(z, u), P(u, y).",
+        ] {
+            assert!(check_theorem_1(&rule(src)), "{src} should be stable");
+        }
+        // Unstable formulas.
+        for src in [
+            "P(x, y) :- A(x, z), P(y, z).",
+            "P(x1,x2,x3) :- A(x1,y3), B(x2,y1), C(y2,x3), P(y1,y2,y3).",
+            "P(x, y, z) :- P(y, z, x).",
+            "P(x, y, z) :- A(x, y), B(u, v), P(u, z, v).",
+            "P(x, y) :- B(y), C(x, y1), P(x1, y1).",
+            "P(x, y) :- A(x, x1), B(y, y1), C(x1, y1), P(x1, y1).",
+            "P(x,y,z) :- A(x,u), B(y,v), C(u,v), D(w,z), P(u,v,w).",
+        ] {
+            assert!(!check_theorem_1(&rule(src)), "{src} should be unstable");
+        }
+    }
+
+    #[test]
+    fn s12_stable_from_second_expansion_for_dvv() {
+        let r = rule("P(x,y,z) :- A(x,u), B(y,v), C(u,v), D(w,z), P(u,v,w).");
+        assert_eq!(stable_from(&r, &QueryForm::parse("dvv"), 10), Some(1));
+    }
+
+    #[test]
+    fn s12_stable_from_the_beginning_for_vvd() {
+        let r = rule("P(x,y,z) :- A(x,u), B(y,v), C(u,v), D(w,z), P(u,v,w).");
+        assert_eq!(stable_from(&r, &QueryForm::parse("vvd"), 10), Some(0));
+    }
+
+    #[test]
+    fn rotation_never_settles() {
+        // s5: pure rotation of a single d never reaches a fixed pattern.
+        let r = rule("P(x, y, z) :- P(y, z, x).");
+        assert_eq!(stable_from(&r, &QueryForm::parse("dvv"), 50), None);
+    }
+
+    #[test]
+    fn stable_formula_settles_immediately() {
+        let r = rule("P(x,y,z) :- A(x,u), B(y,v), P(u,v,w), C(w,z).");
+        for pat in ["dvv", "vdv", "vvd", "ddd", "vvv"] {
+            assert_eq!(stable_from(&r, &QueryForm::parse(pat), 5), Some(0));
+        }
+    }
+}

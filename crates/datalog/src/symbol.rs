@@ -1,0 +1,155 @@
+//! Interned symbols for predicate names, variable names, and constants.
+//!
+//! The engine manipulates names heavily (unification, renaming-apart during
+//! unfolding, graph construction keyed by variables), so names are interned
+//! once into a process-global table and afterwards compared as `u32` ids.
+//! Interned strings are leaked; the set of distinct names in any workload is
+//! small and bounded, which makes the leak a deliberate, standard trade-off
+//! (it buys `&'static str` access with no locking on the read path).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string. Two `Symbol`s are equal iff the underlying strings are.
+///
+/// Ordering compares the *strings* (not interner ids), so sorted iteration is
+/// deterministic regardless of interning order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            return std::cmp::Ordering::Equal;
+        }
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `name`, returning its symbol. Idempotent.
+    pub fn intern(name: &str) -> Symbol {
+        let mut i = interner().lock().expect("symbol interner poisoned");
+        if let Some(&id) = i.map.get(name) {
+            return Symbol(id);
+        }
+        let id = u32::try_from(i.strings.len()).expect("symbol table overflow");
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        i.strings.push(leaked);
+        i.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        let i = interner().lock().expect("symbol interner poisoned");
+        i.strings[self.0 as usize]
+    }
+
+    /// A fresh symbol `base_n` guaranteed distinct from every symbol interned
+    /// so far. Used when renaming rules apart during unfolding.
+    pub fn fresh(base: &str, counter: &mut u32) -> Symbol {
+        loop {
+            let candidate = format!("{base}_{counter}");
+            *counter += 1;
+            let mut i = interner().lock().expect("symbol interner poisoned");
+            if !i.map.contains_key(candidate.as_str()) {
+                let id = u32::try_from(i.strings.len()).expect("symbol table overflow");
+                let leaked: &'static str = Box::leak(candidate.into_boxed_str());
+                i.strings.push(leaked);
+                i.map.insert(leaked, id);
+                return Symbol(id);
+            }
+        }
+    }
+
+    /// Raw id, stable for the process lifetime. Useful as a dense map key.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::intern(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("foo");
+        let b = Symbol::intern("foo");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "foo");
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_symbols() {
+        let a = Symbol::intern("alpha");
+        let b = Symbol::intern("beta");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fresh_symbols_never_collide() {
+        let existing = Symbol::intern("x_0");
+        let mut counter = 0;
+        let fresh = Symbol::fresh("x", &mut counter);
+        assert_ne!(fresh, existing);
+        assert_ne!(fresh.as_str(), "x_0");
+    }
+
+    #[test]
+    fn fresh_advances_counter() {
+        let mut counter = 0;
+        let a = Symbol::fresh("fresh_base", &mut counter);
+        let b = Symbol::fresh("fresh_base", &mut counter);
+        assert_ne!(a, b);
+        assert!(counter >= 2);
+    }
+
+    #[test]
+    fn display_matches_source() {
+        let s = Symbol::intern("Edge");
+        assert_eq!(s.to_string(), "Edge");
+        assert_eq!(format!("{s:?}"), "Edge");
+    }
+}

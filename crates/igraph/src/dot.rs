@@ -1,0 +1,115 @@
+//! Rendering of I-graphs and resolution graphs: Graphviz DOT and a compact
+//! ASCII form. These regenerate the paper's Figures 1–6 mechanically.
+
+use crate::graph::{EdgeKind, IGraph};
+use std::fmt::Write as _;
+
+/// Renders the graph as Graphviz DOT. Directed edges are solid arrows
+/// labeled with the recursive predicate and position; undirected edges are
+/// dashed and labeled with their predicate.
+pub fn to_dot(g: &IGraph, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph \"{name}\" {{");
+    let _ = writeln!(out, "  // vertices are variables of the formula");
+    for (_, var) in g.vertices() {
+        let _ = writeln!(out, "  \"{var}\";");
+    }
+    for (_, e) in g.edges() {
+        match e.kind {
+            EdgeKind::Directed => {
+                let _ = writeln!(
+                    out,
+                    "  \"{}\" -- \"{}\" [dir=forward, label=\"{} (w=1, pos {})\"];",
+                    g.var(e.a),
+                    g.var(e.b),
+                    e.label,
+                    e.position.unwrap_or(0),
+                );
+            }
+            EdgeKind::Undirected => {
+                let _ = writeln!(
+                    out,
+                    "  \"{}\" -- \"{}\" [style=dashed, label=\"{} (w=0)\"];",
+                    g.var(e.a),
+                    g.var(e.b),
+                    e.label,
+                );
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders the graph as sorted, line-per-edge ASCII. The output is stable
+/// (sorted), so tests and golden files can compare it directly.
+pub fn to_ascii(g: &IGraph) -> String {
+    let mut lines: Vec<String> = Vec::new();
+    for (_, e) in g.edges() {
+        let line = match e.kind {
+            EdgeKind::Directed => format!(
+                "{} ->{} {}   [{}]",
+                g.var(e.a),
+                e.position.map(|p| format!("({p})")).unwrap_or_default(),
+                g.var(e.b),
+                e.label,
+            ),
+            EdgeKind::Undirected => {
+                // Canonical endpoint order for undirected edges.
+                let (x, y) = if g.var(e.a) <= g.var(e.b) {
+                    (g.var(e.a), g.var(e.b))
+                } else {
+                    (g.var(e.b), g.var(e.a))
+                };
+                format!("{x} --- {y}   [{}]", e.label)
+            }
+        };
+        lines.push(line);
+    }
+    lines.sort();
+    let mut out = String::new();
+    for l in lines {
+        out.push_str(&l);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::igraph_of;
+    use recurs_datalog::parser::parse_rule;
+
+    #[test]
+    fn dot_contains_all_edges() {
+        let g = igraph_of(&parse_rule("P(x, y) :- A(x, z), P(z, y).").unwrap());
+        let dot = to_dot(&g, "s1a");
+        assert!(dot.contains("graph \"s1a\""));
+        assert!(dot.contains("dir=forward"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("\"x\" -- \"z\""));
+    }
+
+    #[test]
+    fn ascii_is_sorted_and_stable() {
+        let g = igraph_of(&parse_rule("P(x, y) :- A(x, z), P(z, y).").unwrap());
+        let a1 = to_ascii(&g);
+        let a2 = to_ascii(&g);
+        assert_eq!(a1, a2);
+        let lines: Vec<&str> = a1.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let mut sorted = lines.clone();
+        sorted.sort();
+        assert_eq!(lines, sorted);
+    }
+
+    #[test]
+    fn ascii_shows_direction_and_position() {
+        let g = igraph_of(&parse_rule("P(x, y) :- A(x, z), P(z, y).").unwrap());
+        let a = to_ascii(&g);
+        assert!(a.contains("x ->(0) z"));
+        assert!(a.contains("y ->(1) y"));
+        assert!(a.contains("x --- z"));
+    }
+}

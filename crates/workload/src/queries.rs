@@ -1,0 +1,129 @@
+//! Random databases and queries for a given formula — used by oracle
+//! property tests and benchmark sweeps.
+
+use crate::graphs::random_relation;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use recurs_datalog::database::Database;
+use recurs_datalog::rule::LinearRecursion;
+use recurs_datalog::term::{Atom, Term, Value};
+
+/// Builds a random database with one relation per EDB predicate of the
+/// formula (all predicates appearing in bodies other than the recursive
+/// predicate), each with `tuples` random tuples over `1..=domain`.
+pub fn random_database(
+    lr: &LinearRecursion,
+    tuples: usize,
+    domain: u64,
+    seed: u64,
+) -> Database {
+    let mut db = Database::new();
+    let program = lr.to_program();
+    for (i, pred) in program.edb_predicates().into_iter().enumerate() {
+        // Find the predicate's arity from any body occurrence.
+        let arity = program
+            .rules
+            .iter()
+            .flat_map(|r| r.body.iter())
+            .find(|a| a.predicate == pred)
+            .map(Atom::arity)
+            .expect("EDB predicates occur in some body");
+        db.insert_relation(
+            pred,
+            random_relation(arity, tuples, domain, seed.wrapping_add(i as u64)),
+        );
+    }
+    db
+}
+
+/// Generates a random query atom for the recursive predicate: each position
+/// is independently bound to a random constant from `1..=domain` with
+/// probability `bound_prob` (in percent), else left a free variable.
+pub fn random_query(lr: &LinearRecursion, domain: u64, bound_prob: u32, seed: u64) -> Atom {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = lr.dimension();
+    let terms = (0..n)
+        .map(|i| {
+            if rng.gen_range(0..100) < bound_prob {
+                Term::Const(Value::from_u64(rng.gen_range(1..=domain)))
+            } else {
+                Term::var(&format!("qv{i}"))
+            }
+        })
+        .collect();
+    Atom::new(lr.predicate, terms)
+}
+
+/// All 2ⁿ query forms as query atoms with the given constants at bound
+/// positions (cycling through `constants` as needed). Useful for exhaustive
+/// per-form checks at small dimension.
+pub fn all_query_atoms(lr: &LinearRecursion, constants: &[u64]) -> Vec<Atom> {
+    let n = lr.dimension();
+    assert!(n <= 16, "exhaustive form enumeration needs small dimension");
+    let mut out = Vec::with_capacity(1 << n);
+    for mask in 0u32..(1 << n) {
+        let mut ci = 0usize;
+        let terms = (0..n)
+            .map(|i| {
+                if mask & (1 << i) != 0 {
+                    let c = constants[ci % constants.len()];
+                    ci += 1;
+                    Term::Const(Value::from_u64(c))
+                } else {
+                    Term::var(&format!("qv{i}"))
+                }
+            })
+            .collect();
+        out.push(Atom::new(lr.predicate, terms));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recurs_datalog::parser::parse_program;
+    use recurs_datalog::validate::validate_with_generic_exit;
+
+    fn lr() -> LinearRecursion {
+        validate_with_generic_exit(
+            &parse_program("P(x, y) :- A(x, z), P(z, y).\nP(x, y) :- E(x, y).").unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn random_database_covers_all_edb_predicates() {
+        let db = random_database(&lr(), 20, 10, 1);
+        assert!(db.contains("A"));
+        assert!(db.contains("E"));
+        assert_eq!(db.get("A").unwrap().arity(), 2);
+    }
+
+    #[test]
+    fn random_query_is_deterministic_and_well_formed() {
+        let f = lr();
+        let q1 = random_query(&f, 10, 50, 3);
+        let q2 = random_query(&f, 10, 50, 3);
+        assert_eq!(q1, q2);
+        assert_eq!(q1.arity(), 2);
+    }
+
+    #[test]
+    fn all_query_atoms_enumerates_forms() {
+        let f = lr();
+        let qs = all_query_atoms(&f, &[1, 2]);
+        assert_eq!(qs.len(), 4);
+        // Forms: vv, dv, vd, dd.
+        assert_eq!(qs.iter().filter(|q| q.terms[0].is_var()).count(), 2);
+    }
+
+    #[test]
+    fn bound_prob_extremes() {
+        let f = lr();
+        let all_free = random_query(&f, 10, 0, 1);
+        assert!(all_free.terms.iter().all(Term::is_var));
+        let all_bound = random_query(&f, 10, 100, 1);
+        assert!(all_bound.terms.iter().all(|t| !t.is_var()));
+    }
+}

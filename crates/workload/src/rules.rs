@@ -1,0 +1,173 @@
+//! Random linear-recursive-rule generation — the input space for property
+//! tests of the classification (Theorems 1 and 12) and of plan/oracle
+//! equivalence.
+//!
+//! Generated rules always satisfy the paper's restrictions: single linear
+//! recursion, constant-free, distinct variables under the recursive
+//! predicate (both occurrences), and range restriction.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use recurs_datalog::rule::{LinearRecursion, Rule};
+use recurs_datalog::term::{Atom, Term};
+use recurs_datalog::validate::{generic_exit_rule, validate_with_generic_exit};
+use recurs_datalog::Symbol;
+
+/// Shape parameters for random rules.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleConfig {
+    /// Minimum dimension of the recursive predicate.
+    pub min_dim: usize,
+    /// Maximum dimension.
+    pub max_dim: usize,
+    /// Maximum number of extra non-recursive atoms beyond those needed for
+    /// range restriction.
+    pub max_extra_atoms: usize,
+}
+
+impl Default for RuleConfig {
+    fn default() -> RuleConfig {
+        RuleConfig {
+            min_dim: 1,
+            max_dim: 4,
+            max_extra_atoms: 3,
+        }
+    }
+}
+
+/// Generates a random valid linear recursive rule from a seed.
+pub fn random_rule(seed: u64, config: RuleConfig) -> Rule {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(config.min_dim..=config.max_dim);
+    let head_vars: Vec<Symbol> = (0..n)
+        .map(|i| Symbol::intern(&format!("h{i}")))
+        .collect();
+    // Recursive-atom variables: a random mix of head variables (each used at
+    // most once — distinctness) and fresh variables.
+    let mut available_heads: Vec<Symbol> = head_vars.clone();
+    available_heads.shuffle(&mut rng);
+    let mut rec_vars: Vec<Symbol> = Vec::with_capacity(n);
+    let mut fresh = 0usize;
+    for _ in 0..n {
+        if !available_heads.is_empty() && rng.gen_bool(0.5) {
+            rec_vars.push(available_heads.pop().expect("checked non-empty"));
+        } else {
+            rec_vars.push(Symbol::intern(&format!("f{fresh}")));
+            fresh += 1;
+        }
+    }
+    rec_vars.shuffle(&mut rng);
+
+    let p = Symbol::intern("P");
+    let mut pool: Vec<Symbol> = head_vars.iter().chain(rec_vars.iter()).copied().collect();
+    pool.sort();
+    pool.dedup();
+
+    let mut body: Vec<Atom> = Vec::new();
+    let predicates = ["A", "B", "C", "D", "G", "H"];
+    let mut pred_i = 0usize;
+    let mut next_pred = |rng: &mut StdRng| {
+        let name = if rng.gen_bool(0.8) && pred_i < predicates.len() {
+            let n = predicates[pred_i];
+            pred_i += 1;
+            n
+        } else {
+            predicates[rng.gen_range(0..predicates.len())]
+        };
+        Symbol::intern(name)
+    };
+
+    // Range restriction: every head variable not in the recursive atom must
+    // occur in a non-recursive atom; give each a random partner.
+    for &hv in &head_vars {
+        if !rec_vars.contains(&hv) {
+            let partner = pool[rng.gen_range(0..pool.len())];
+            let pred = next_pred(&mut rng);
+            if rng.gen_bool(0.5) {
+                body.push(Atom::new(pred, vec![Term::Var(hv), Term::Var(partner)]));
+            } else {
+                body.push(Atom::new(pred, vec![Term::Var(partner), Term::Var(hv)]));
+            }
+        }
+    }
+    // Extra atoms connecting random variables (unary or binary).
+    let extra = rng.gen_range(0..=config.max_extra_atoms);
+    let mut unary_i = 0usize;
+    for _ in 0..extra {
+        if rng.gen_bool(0.15) {
+            // Unary atoms get their own predicate namespace so no predicate
+            // is ever used at two different arities.
+            let pred = Symbol::intern(&format!("U{unary_i}"));
+            unary_i += 1;
+            let v = pool[rng.gen_range(0..pool.len())];
+            body.push(Atom::new(pred, vec![Term::Var(v)]));
+        } else {
+            let pred = next_pred(&mut rng);
+            let a = pool[rng.gen_range(0..pool.len())];
+            let b = pool[rng.gen_range(0..pool.len())];
+            body.push(Atom::new(pred, vec![Term::Var(a), Term::Var(b)]));
+        }
+    }
+    // Insert the recursive atom at a random body position.
+    let rec_atom = Atom::new(p, rec_vars.iter().map(|&v| Term::Var(v)).collect());
+    let at = rng.gen_range(0..=body.len());
+    body.insert(at, rec_atom);
+
+    Rule::new(
+        Atom::new(p, head_vars.iter().map(|&v| Term::Var(v)).collect()),
+        body,
+    )
+}
+
+/// A random rule wrapped into a [`LinearRecursion`] with a generic exit.
+pub fn random_linear_recursion(seed: u64, config: RuleConfig) -> LinearRecursion {
+    let rule = random_rule(seed, config);
+    let exit = generic_exit_rule(&rule);
+    validate_with_generic_exit(&recurs_datalog::rule::Program::new(vec![rule, exit]))
+        .expect("generated rules satisfy the paper's restrictions")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recurs_datalog::validate::validate_with_generic_exit;
+
+    #[test]
+    fn generated_rules_always_validate() {
+        for seed in 0..500 {
+            let rule = random_rule(seed, RuleConfig::default());
+            let program = recurs_datalog::rule::Program::new(vec![rule.clone()]);
+            validate_with_generic_exit(&program)
+                .unwrap_or_else(|e| panic!("seed {seed} generated invalid rule {rule}: {e}"));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = random_rule(42, RuleConfig::default());
+        let b = random_rule(42, RuleConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dimensions_respect_config() {
+        let config = RuleConfig {
+            min_dim: 2,
+            max_dim: 3,
+            max_extra_atoms: 1,
+        };
+        for seed in 0..100 {
+            let rule = random_rule(seed, config);
+            let d = rule.head.arity();
+            assert!((2..=3).contains(&d), "seed {seed}: dimension {d}");
+        }
+    }
+
+    #[test]
+    fn linear_recursion_wrapper_works() {
+        let lr = random_linear_recursion(7, RuleConfig::default());
+        assert!(!lr.exit_rules.is_empty());
+        assert!(lr.recursive_rule.is_linear_recursive());
+    }
+}

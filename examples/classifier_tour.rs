@@ -1,0 +1,83 @@
+//! A tour of the full classification: every worked example of the paper
+//! (s1–s12) classified, rendered, and planned — the on-screen version of the
+//! paper's sections 4–10.
+//!
+//! Run with: `cargo run --example classifier_tour`
+
+use recurs_core::report::{classification_report, plan_report};
+use recurs_datalog::adornment::QueryForm;
+use recurs_datalog::parser::parse_program;
+use recurs_datalog::validate::validate_with_generic_exit;
+
+fn main() {
+    let examples: &[(&str, &str, &str)] = &[
+        ("s1a (Example 1)", "P(x, y) :- A(x, z), P(z, y).", "dv"),
+        (
+            "s1b (Example 1)",
+            "P(x, y, z) :- A(x, y), P(u, z, v), B(u, v).",
+            "dvv",
+        ),
+        (
+            "s2a (Example 2)",
+            "P(x, y) :- A(x, z), P(z, u), B(u, y).",
+            "dv",
+        ),
+        (
+            "s3 (Example 3, class A1)",
+            "P(x, y, z) :- A(x, u), B(y, v), P(u, v, w), C(w, z).",
+            "ddv",
+        ),
+        (
+            "s4a (Example 4, class A3)",
+            "P(x1, x2, x3) :- A(x1, y3), B(x2, y1), C(y2, x3), P(y1, y2, y3).",
+            "ddv",
+        ),
+        ("s5 (Example 5, class A4)", "P(x, y, z) :- P(y, z, x).", "dvv"),
+        (
+            "s6 (Example 6)",
+            "P(x, y, z, u, v, w) :- P(z, y, u, x, w, v).",
+            "dvvvvv",
+        ),
+        (
+            "s7 (Example 7, class A5)",
+            "P(x, y, z, u, w, s, v) :- A(x, t), P(t, z, y, w, s, r, v), B(u, r).",
+            "dvvvvvv",
+        ),
+        (
+            "s8 (Example 8, class B)",
+            "P(x, y, z, u) :- A(x, y), B(y1, u), C(z1, u1), P(z, y1, z1, u1).",
+            "dvvv",
+        ),
+        (
+            "s9 (Example 9, class C)",
+            "P(x, y, z) :- A(x, y), B(u, v), P(u, z, v).",
+            "dvv",
+        ),
+        (
+            "s10 (Example 10, class D)",
+            "P(x, y) :- B(y), C(x, y1), P(x1, y1).",
+            "vv",
+        ),
+        (
+            "s11 (Example 11, class E)",
+            "P(x, y) :- A(x, x1), B(y, y1), C(x1, y1), P(x1, y1).",
+            "dv",
+        ),
+        (
+            "s12 (Example 14, class F)",
+            "P(x, y, z) :- A(x, u), B(y, v), C(u, v), D(w, z), P(u, v, w).",
+            "dvv",
+        ),
+    ];
+
+    for (name, src, form) in examples {
+        println!("{}", "=".repeat(72));
+        println!("{name}");
+        println!("{}", "=".repeat(72));
+        let lr = validate_with_generic_exit(&parse_program(src).unwrap()).unwrap();
+        print!("{}", classification_report(&lr));
+        println!("--- plan for the representative query form ---");
+        print!("{}", plan_report(&lr, &QueryForm::parse(form)));
+        println!();
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the paper's theorems over randomly generated valid
+//! linear recursive rules.
+
+use proptest::prelude::*;
+use recurs_core::classify::{Classification, FormulaClass};
+use recurs_core::stability::check_theorem_1;
+use recurs_core::transform::{to_nonrecursive, unfold_to_stable};
+use recurs_datalog::eval::semi_naive;
+use recurs_workload::rules::{random_linear_recursion, random_rule, RuleConfig};
+use recurs_workload::random_database;
+
+fn config() -> RuleConfig {
+    RuleConfig {
+        min_dim: 1,
+        max_dim: 4,
+        max_extra_atoms: 3,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Theorem 1: semantic and syntactic strong stability coincide.
+    #[test]
+    fn theorem_1_equivalence(seed in 0u64..1_000_000) {
+        let rule = random_rule(seed, config());
+        check_theorem_1(&rule); // panics on divergence
+    }
+
+    /// Theorem 12: the classification is total and each label is unique.
+    #[test]
+    fn theorem_12_completeness(seed in 0u64..1_000_000) {
+        let rule = random_rule(seed, config());
+        let c = Classification::of(&rule);
+        // Exactly one class label is assigned.
+        let label = c.class.label();
+        prop_assert!(["A1","A2","A3","A4","A5","B","C","D","E","F"].contains(&label));
+        // The invariants between predicates hold.
+        if c.is_strongly_stable() {
+            prop_assert!(c.is_transformable_to_stable());
+            prop_assert_eq!(c.stabilization_period(), Some(1));
+        }
+        if c.is_transformable_to_stable() {
+            prop_assert!(matches!(c.class, FormulaClass::OneDirectional(_)));
+        }
+        if c.rank_bound().is_some() {
+            prop_assert!(c.is_bounded());
+        }
+        // Mixed requires at least two distinct component classes.
+        if c.class == FormulaClass::Mixed {
+            let mut kinds = c.component_classes.clone();
+            kinds.sort();
+            kinds.dedup();
+            prop_assert!(kinds.len() >= 2);
+        }
+    }
+
+    /// Theorems 2 & 4: the unfold-to-stable transformation preserves
+    /// semantics, and its result is strongly stable. (Smaller shapes than
+    /// the other properties: the equivalence check evaluates the unfolded
+    /// rule, whose body has period × atoms literals.)
+    #[test]
+    fn unfold_to_stable_preserves_semantics(seed in 0u64..100_000) {
+        let small = RuleConfig { min_dim: 1, max_dim: 3, max_extra_atoms: 2 };
+        let lr = random_linear_recursion(seed, small);
+        let c = Classification::of(&lr.recursive_rule);
+        if !c.is_transformable_to_stable() {
+            return Ok(());
+        }
+        let t = unfold_to_stable(&lr).expect("class A");
+        prop_assert!(Classification::of(&t.stable_rule).is_strongly_stable());
+
+        let db = random_database(&lr, 16, 5, seed ^ 0xABCD);
+        let mut db1 = db.clone();
+        let mut db2 = db;
+        semi_naive(&mut db1, &lr.to_program(), None).unwrap();
+        semi_naive(&mut db2, &t.to_program(), None).unwrap();
+        prop_assert_eq!(
+            db1.get(lr.predicate).unwrap(),
+            db2.get(lr.predicate).unwrap(),
+            "transform changed semantics for {} (seed {})", lr.recursive_rule, seed
+        );
+    }
+
+    /// Ioannidis / Theorem 10: the rank bound is genuine — truncating the
+    /// fixpoint at `rank + 1` iterations of the recursive rule loses nothing.
+    #[test]
+    fn rank_bound_is_sound(seed in 0u64..100_000) {
+        let small = RuleConfig { min_dim: 1, max_dim: 3, max_extra_atoms: 2 };
+        let lr = random_linear_recursion(seed, small);
+        let c = Classification::of(&lr.recursive_rule);
+        let Some(rank) = c.rank_bound() else { return Ok(()); };
+        let program = to_nonrecursive(&lr).expect("bounded formula");
+        prop_assert!(program.rules.iter().all(|r| !r.is_recursive()));
+        prop_assert_eq!(program.rules.len() as u64, 1 + rank);
+
+        let db = random_database(&lr, 16, 5, seed ^ 0x1234);
+        let mut db1 = db.clone();
+        let mut db2 = db;
+        semi_naive(&mut db1, &lr.to_program(), None).unwrap();
+        semi_naive(&mut db2, &program, None).unwrap();
+        prop_assert_eq!(
+            db1.get(lr.predicate).unwrap(),
+            db2.get(lr.predicate).unwrap(),
+            "rank bound {} too small for {} (seed {})", rank, lr.recursive_rule, seed
+        );
+    }
+
+    /// Corollary 3 both ways: transformable iff only one-directional cycles;
+    /// and bounded formulas are never equivalent to any stable formula
+    /// unless they are also one-directional.
+    #[test]
+    fn corollary_3(seed in 0u64..1_000_000) {
+        let rule = random_rule(seed, config());
+        let c = Classification::of(&rule);
+        let one_dir = c
+            .component_classes
+            .iter()
+            .all(|k| k.is_one_directional());
+        prop_assert_eq!(c.is_transformable_to_stable(), one_dir && !c.component_classes.is_empty());
+    }
+}
