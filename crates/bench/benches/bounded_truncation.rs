@@ -39,7 +39,9 @@ fn s8_sweep(c: &mut Criterion) {
     .unwrap();
     let query = parse_atom("P(x, y, z, u)").unwrap();
     let mut group = c.benchmark_group("bounded_truncation_s8");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [50u64, 100, 200] {
         let db = s8_db(n);
         let plan = plan_query(&f, &query);
@@ -68,13 +70,13 @@ fn s8_sweep(c: &mut Criterion) {
 
 fn s5_sweep(c: &mut Criterion) {
     // s5: pure rotation, rank lcm(3)−1 = 2.
-    let f = validate_with_generic_exit(
-        &parse_program("P(x, y, z) :- P(y, z, x).").unwrap(),
-    )
-    .unwrap();
+    let f =
+        validate_with_generic_exit(&parse_program("P(x, y, z) :- P(y, z, x).").unwrap()).unwrap();
     let query = parse_atom("P(x, y, z)").unwrap();
     let mut group = c.benchmark_group("bounded_truncation_s5");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [1_000u64, 5_000, 20_000] {
         let mut db = Database::new();
         db.insert_relation("E", random_relation(3, n as usize, n, 25));

@@ -37,7 +37,9 @@ fn bench_case(
     sizes_label: u64,
 ) {
     let mut group = c.benchmark_group(group_name);
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     // Pre-verify agreement once, so the benchmark numbers are meaningful.
     recurs_core::oracle::assert_equivalent(f, db, query);
     group.bench_with_input(
@@ -48,17 +50,13 @@ fn bench_case(
             b.iter(|| black_box(plan.execute(db, query).unwrap()));
         },
     );
-    group.bench_with_input(
-        BenchmarkId::new("semi_naive", sizes_label),
-        &(),
-        |b, ()| {
-            b.iter(|| {
-                let mut db = db.clone();
-                semi_naive(&mut db, &f.to_program(), None).unwrap();
-                black_box(recurs_datalog::eval::answer_query(&db, query).unwrap())
-            });
-        },
-    );
+    group.bench_with_input(BenchmarkId::new("semi_naive", sizes_label), &(), |b, ()| {
+        b.iter(|| {
+            let mut db = db.clone();
+            semi_naive(&mut db, &f.to_program(), None).unwrap();
+            black_box(recurs_datalog::eval::answer_query(&db, query).unwrap())
+        });
+    });
     group.bench_with_input(BenchmarkId::new("naive", sizes_label), &(), |b, ()| {
         b.iter(|| {
             let mut db = db.clone();
@@ -85,8 +83,10 @@ fn class_a1(c: &mut Criterion) {
 
 /// Example 4 — class A3 (unfold 3× then count), query P(a, b, Z).
 fn class_a3(c: &mut Criterion) {
-    let f = lr("P(x1, x2, x3) :- A(x1, y3), B(x2, y1), C(y2, x3), P(y1, y2, y3).\n\
-                P(x1, x2, x3) :- E(x1, x2, x3).");
+    let f = lr(
+        "P(x1, x2, x3) :- A(x1, y3), B(x2, y1), C(y2, x3), P(y1, y2, y3).\n\
+                P(x1, x2, x3) :- E(x1, x2, x3).",
+    );
     let n = 120u64;
     let mut db = Database::new();
     db.insert_relation("A", chain(n));
@@ -99,8 +99,10 @@ fn class_a3(c: &mut Criterion) {
 
 /// Example 8 — class B (bounded, rank 2), open query.
 fn class_b(c: &mut Criterion) {
-    let f = lr("P(x, y, z, u) :- A(x, y), B(y1, u), C(z1, u1), P(z, y1, z1, u1).\n\
-                P(x, y, z, u) :- E(x, y, z, u).");
+    let f = lr(
+        "P(x, y, z, u) :- A(x, y), B(y1, u), C(z1, u1), P(z, y1, z1, u1).\n\
+                P(x, y, z, u) :- E(x, y, z, u).",
+    );
     let n = 150u64;
     let mut db = Database::new();
     db.insert_relation("A", random_digraph(n, n as usize, 1));
@@ -161,8 +163,10 @@ fn class_e(c: &mut Criterion) {
 
 /// Example 14 — class F (mixed), query P(d, v, v).
 fn class_f(c: &mut Criterion) {
-    let f = lr("P(x, y, z) :- A(x, u), B(y, v), C(u, v), D(w, z), P(u, v, w).\n\
-                P(x, y, z) :- E(x, y, z).");
+    let f = lr(
+        "P(x, y, z) :- A(x, u), B(y, v), C(u, v), D(w, z), P(u, v, w).\n\
+                P(x, y, z) :- E(x, y, z).",
+    );
     let n = 200u64;
     let mut db = Database::new();
     db.insert_relation("A", chain(n));
@@ -188,7 +192,5 @@ fn diag3(n: u64) -> Relation {
     )
 }
 
-criterion_group!(
-    benches, class_a1, class_a3, class_b, class_c, class_d, class_e, class_f
-);
+criterion_group!(benches, class_a1, class_a3, class_b, class_c, class_d, class_e, class_f);
 criterion_main!(benches);

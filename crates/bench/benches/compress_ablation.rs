@@ -27,7 +27,9 @@ fn ablation(c: &mut Criterion) {
     let compressed = compress(&f);
 
     let mut group = c.benchmark_group("compress_ablation");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [50u64, 200, 800] {
         let mut db = Database::new();
         db.insert_relation("A", chain(n));

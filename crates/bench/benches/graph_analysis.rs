@@ -39,7 +39,9 @@ const FORMULAS: &[(&str, &str)] = &[
 
 fn igraph_and_cycles(c: &mut Criterion) {
     let mut group = c.benchmark_group("igraph_construction");
-    group.sample_size(50).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(1));
     for (name, src) in FORMULAS {
         let rule = parse_rule(src).unwrap();
         group.bench_with_input(BenchmarkId::new("igraph", name), &rule, |b, rule| {
@@ -55,7 +57,9 @@ fn igraph_and_cycles(c: &mut Criterion) {
 
 fn classification(c: &mut Criterion) {
     let mut group = c.benchmark_group("classification");
-    group.sample_size(50).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(1));
     for (name, src) in FORMULAS {
         let rule = parse_rule(src).unwrap();
         group.bench_with_input(BenchmarkId::new("classify", name), &rule, |b, rule| {
@@ -67,7 +71,9 @@ fn classification(c: &mut Criterion) {
 
 fn unfolding(c: &mut Criterion) {
     let mut group = c.benchmark_group("unfolding");
-    group.sample_size(50).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(1));
     let rule = parse_rule(FORMULAS[2].1).unwrap(); // s4a
     for k in [2usize, 6, 12, 24] {
         group.bench_with_input(BenchmarkId::new("expansion", k), &k, |b, &k| {
@@ -82,10 +88,11 @@ fn unfolding(c: &mut Criterion) {
 
 fn planning(c: &mut Criterion) {
     let mut group = c.benchmark_group("plan_generation");
-    group.sample_size(30).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(1));
     for (name, src) in FORMULAS {
-        let lr =
-            validate_with_generic_exit(&parse_program(src).unwrap()).unwrap();
+        let lr = validate_with_generic_exit(&parse_program(src).unwrap()).unwrap();
         // The representative `P(d, v, …)` form.
         let pattern = format!("d{}", "v".repeat(lr.dimension() - 1));
         let form = QueryForm::parse(&pattern);
@@ -96,5 +103,11 @@ fn planning(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, igraph_and_cycles, classification, unfolding, planning);
+criterion_group!(
+    benches,
+    igraph_and_cycles,
+    classification,
+    unfolding,
+    planning
+);
 criterion_main!(benches);

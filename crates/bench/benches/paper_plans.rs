@@ -34,7 +34,9 @@ fn s9_sweep(c: &mut Criterion) {
     )
     .unwrap();
     let mut group = c.benchmark_group("s9_paper_plans");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [100u64, 400] {
         let db = s9_db(n);
         let a = Value::from_u64(1);

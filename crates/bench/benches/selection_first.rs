@@ -29,7 +29,9 @@ fn tc() -> recurs_datalog::LinearRecursion {
 fn sweep(c: &mut Criterion, name: &str, dbs: Vec<(u64, Database)>, query_src: &str) {
     let f = tc();
     let mut group = c.benchmark_group(name);
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for (n, db) in dbs {
         let query = parse_atom(query_src).unwrap();
         recurs_core::oracle::assert_equivalent(&f, &db, &query);
@@ -42,17 +44,13 @@ fn sweep(c: &mut Criterion, name: &str, dbs: Vec<(u64, Database)>, query_src: &s
                 b.iter(|| black_box(plan.execute(db, &query).unwrap()));
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("fixpoint_then_select", n),
-            &db,
-            |b, db| {
-                b.iter(|| {
-                    let mut db = db.clone();
-                    semi_naive(&mut db, &f.to_program(), None).unwrap();
-                    black_box(recurs_datalog::eval::answer_query(&db, &query).unwrap())
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("fixpoint_then_select", n), &db, |b, db| {
+            b.iter(|| {
+                let mut db = db.clone();
+                semi_naive(&mut db, &f.to_program(), None).unwrap();
+                black_box(recurs_datalog::eval::answer_query(&db, &query).unwrap())
+            });
+        });
     }
     group.finish();
 }

@@ -55,35 +55,123 @@ fn main() {
     // ---- structural claims (classification / bounds / periods) -----------
     type Check = fn(&Classification) -> (String, bool);
     let structural: &[(&str, &str, &str, Check)] = &[
-        ("E3/s3", "class A1, strongly stable", "P(x,y,z) :- A(x,u), B(y,v), P(u,v,w), C(w,z).",
-         |c| (format!("class {}, stable={}", c.class, c.is_strongly_stable()),
-              c.class.label() == "A1" && c.is_strongly_stable())),
-        ("E4/s4a", "class A3, stable after 3 unfoldings", "P(x1,x2,x3) :- A(x1,y3), B(x2,y1), C(y2,x3), P(y1,y2,y3).",
-         |c| (format!("class {}, period {:?}", c.class, c.stabilization_period()),
-              c.class.label() == "A3" && c.stabilization_period() == Some(3))),
-        ("E5/s5", "class A4, bounded", "P(x,y,z) :- P(y,z,x).",
-         |c| (format!("class {}, bounded={}, rank {:?}", c.class, c.is_bounded(), c.rank_bound()),
-              c.class.label() == "A4" && c.rank_bound() == Some(2))),
-        ("E6/s6", "stable after lcm(3,1,2)=6; bound lcm−1=5 (Thm 10)", "P(x,y,z,u,v,w) :- P(z,y,u,x,w,v).",
-         |c| (format!("period {:?}, rank {:?}", c.stabilization_period(), c.rank_bound()),
-              c.stabilization_period() == Some(6) && c.rank_bound() == Some(5))),
-        ("E7/s7", "4 disjoint cycles w=1,2,3,1; stable after 6", "P(x,y,z,u,w,s,v) :- A(x,t), P(t,z,y,w,s,r,v), B(u,r).",
-         |c| (format!("class {}, period {:?}", c.class, c.stabilization_period()),
-              c.class.label() == "A5" && c.stabilization_period() == Some(6))),
-        ("E8/s8", "class B, rank bound 2 (Ioannidis)", "P(x,y,z,u) :- A(x,y), B(y1,u), C(z1,u1), P(z,y1,z1,u1).",
-         |c| (format!("class {}, rank {:?}", c.class, c.rank_bound()),
-              c.class.label() == "B" && c.rank_bound() == Some(2))),
-        ("E9/s9", "class C (unbounded), not transformable (Thm 5)", "P(x,y,z) :- A(x,y), B(u,v), P(u,z,v).",
-         |c| (format!("class {}, transformable={}", c.class, c.is_transformable_to_stable()),
-              c.class.label() == "C" && !c.is_transformable_to_stable())),
-        ("E10/s10", "class D, bounded with rank 2 (Cor 2)", "P(x,y) :- B(y), C(x,y1), P(x1,y1).",
-         |c| (format!("class {}, rank {:?}", c.class, c.rank_bound()),
-              c.class.label() == "D" && c.rank_bound() == Some(2))),
-        ("E11/s11", "class E (dependent), not transformable (Thm 8)", "P(x,y) :- A(x,x1), B(y,y1), C(x1,y1), P(x1,y1).",
-         |c| (format!("class {}, transformable={}", c.class, c.is_transformable_to_stable()),
-              c.class.label() == "E" && !c.is_transformable_to_stable())),
-        ("E12/s12", "mixed; pattern dvv → ddv → ddv (Ex. 14)", "P(x,y,z) :- A(x,u), B(y,v), C(u,v), D(w,z), P(u,v,w).",
-         |c| (format!("class {}", c.class), c.class.label() == "F")),
+        (
+            "E3/s3",
+            "class A1, strongly stable",
+            "P(x,y,z) :- A(x,u), B(y,v), P(u,v,w), C(w,z).",
+            |c| {
+                (
+                    format!("class {}, stable={}", c.class, c.is_strongly_stable()),
+                    c.class.label() == "A1" && c.is_strongly_stable(),
+                )
+            },
+        ),
+        (
+            "E4/s4a",
+            "class A3, stable after 3 unfoldings",
+            "P(x1,x2,x3) :- A(x1,y3), B(x2,y1), C(y2,x3), P(y1,y2,y3).",
+            |c| {
+                (
+                    format!("class {}, period {:?}", c.class, c.stabilization_period()),
+                    c.class.label() == "A3" && c.stabilization_period() == Some(3),
+                )
+            },
+        ),
+        ("E5/s5", "class A4, bounded", "P(x,y,z) :- P(y,z,x).", |c| {
+            (
+                format!(
+                    "class {}, bounded={}, rank {:?}",
+                    c.class,
+                    c.is_bounded(),
+                    c.rank_bound()
+                ),
+                c.class.label() == "A4" && c.rank_bound() == Some(2),
+            )
+        }),
+        (
+            "E6/s6",
+            "stable after lcm(3,1,2)=6; bound lcm−1=5 (Thm 10)",
+            "P(x,y,z,u,v,w) :- P(z,y,u,x,w,v).",
+            |c| {
+                (
+                    format!(
+                        "period {:?}, rank {:?}",
+                        c.stabilization_period(),
+                        c.rank_bound()
+                    ),
+                    c.stabilization_period() == Some(6) && c.rank_bound() == Some(5),
+                )
+            },
+        ),
+        (
+            "E7/s7",
+            "4 disjoint cycles w=1,2,3,1; stable after 6",
+            "P(x,y,z,u,w,s,v) :- A(x,t), P(t,z,y,w,s,r,v), B(u,r).",
+            |c| {
+                (
+                    format!("class {}, period {:?}", c.class, c.stabilization_period()),
+                    c.class.label() == "A5" && c.stabilization_period() == Some(6),
+                )
+            },
+        ),
+        (
+            "E8/s8",
+            "class B, rank bound 2 (Ioannidis)",
+            "P(x,y,z,u) :- A(x,y), B(y1,u), C(z1,u1), P(z,y1,z1,u1).",
+            |c| {
+                (
+                    format!("class {}, rank {:?}", c.class, c.rank_bound()),
+                    c.class.label() == "B" && c.rank_bound() == Some(2),
+                )
+            },
+        ),
+        (
+            "E9/s9",
+            "class C (unbounded), not transformable (Thm 5)",
+            "P(x,y,z) :- A(x,y), B(u,v), P(u,z,v).",
+            |c| {
+                (
+                    format!(
+                        "class {}, transformable={}",
+                        c.class,
+                        c.is_transformable_to_stable()
+                    ),
+                    c.class.label() == "C" && !c.is_transformable_to_stable(),
+                )
+            },
+        ),
+        (
+            "E10/s10",
+            "class D, bounded with rank 2 (Cor 2)",
+            "P(x,y) :- B(y), C(x,y1), P(x1,y1).",
+            |c| {
+                (
+                    format!("class {}, rank {:?}", c.class, c.rank_bound()),
+                    c.class.label() == "D" && c.rank_bound() == Some(2),
+                )
+            },
+        ),
+        (
+            "E11/s11",
+            "class E (dependent), not transformable (Thm 8)",
+            "P(x,y) :- A(x,x1), B(y,y1), C(x1,y1), P(x1,y1).",
+            |c| {
+                (
+                    format!(
+                        "class {}, transformable={}",
+                        c.class,
+                        c.is_transformable_to_stable()
+                    ),
+                    c.class.label() == "E" && !c.is_transformable_to_stable(),
+                )
+            },
+        ),
+        (
+            "E12/s12",
+            "mixed; pattern dvv → ddv → ddv (Ex. 14)",
+            "P(x,y,z) :- A(x,u), B(y,v), C(u,v), D(w,z), P(u,v,w).",
+            |c| (format!("class {}", c.class), c.class.label() == "F"),
+        ),
     ];
     for (id, claim, src, check) in structural {
         let c = Classification::of(&lr(src).recursive_rule);

@@ -22,13 +22,50 @@ use recurs_core::oracle::compare;
 use recurs_core::plan::plan_query;
 use recurs_core::report::{classification_report, plan_report};
 use recurs_datalog::adornment::QueryForm;
+use recurs_datalog::eval::{answer_query, semi_naive};
 use recurs_datalog::parser::parse;
 use recurs_datalog::rule::LinearRecursion;
 use recurs_datalog::validate::validate_with_generic_exit;
 use recurs_datalog::{Atom, Database};
+use recurs_engine::{EngineConfig, EngineMode};
 use recurs_igraph::build::resolution_graph;
 use recurs_igraph::dot::{to_ascii, to_dot};
 use std::fmt::Write as _;
+
+/// Which evaluation engine `recurs run --engine` saturates the database
+/// with, instead of the default class-driven query plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineChoice {
+    /// The reference semi-naive evaluator (`recurs_datalog::eval`).
+    Oracle,
+    /// The indexed engine (`recurs-engine`, single-threaded).
+    Indexed,
+    /// The indexed engine with delta-sharded worker threads.
+    Parallel,
+}
+
+impl EngineChoice {
+    /// Parses `oracle`/`indexed`/`parallel`.
+    pub fn parse(s: &str) -> Result<EngineChoice, String> {
+        match s {
+            "oracle" => Ok(EngineChoice::Oracle),
+            "indexed" => Ok(EngineChoice::Indexed),
+            "parallel" => Ok(EngineChoice::Parallel),
+            other => Err(format!(
+                "unknown engine `{other}` (expected oracle, indexed, or parallel)"
+            )),
+        }
+    }
+
+    /// The flag spelling, for output labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineChoice::Oracle => "oracle",
+            EngineChoice::Indexed => "indexed",
+            EngineChoice::Parallel => "parallel",
+        }
+    }
+}
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,12 +82,16 @@ pub enum Command {
         /// Query-form patterns (`dvv`-style); defaults to the file's queries.
         forms: Vec<String>,
     },
-    /// `recurs run <file> [--check]`
+    /// `recurs run <file> [--check] [--engine E] [--threads N]`
     Run {
         /// Source file path.
         file: String,
         /// Also verify each answer set against the fixpoint oracle.
         check: bool,
+        /// Saturate with this engine instead of executing query plans.
+        engine: Option<EngineChoice>,
+        /// Worker threads for `--engine parallel`.
+        threads: usize,
     },
     /// `recurs figure <file> [--levels k] [--dot]`
     Figure {
@@ -74,6 +115,9 @@ USAGE:
     recurs plan <file> [--form dvv]...     show the compiled plan per query form
     recurs run <file> [--check]            answer the file's ?- queries
                                            (--check: verify against the fixpoint)
+                      [--engine oracle|indexed|parallel] [--threads N]
+                                           saturate with the chosen engine
+                                           instead of compiled query plans
     recurs figure <file> [--levels K] [--dot]
                                            print I-graph / resolution graphs
     recurs help                            this text
@@ -117,15 +161,41 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         "run" => {
             let file = it.next().ok_or("run needs a file argument")?;
             let mut check = false;
-            for opt in it {
-                match opt.as_str() {
-                    "--check" => check = true,
+            let mut engine = None;
+            let mut threads = 2usize;
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--check" => {
+                        check = true;
+                        i += 1;
+                    }
+                    "--engine" => {
+                        let e = rest
+                            .get(i + 1)
+                            .ok_or("--engine needs oracle, indexed, or parallel")?;
+                        engine = Some(EngineChoice::parse(e)?);
+                        i += 2;
+                    }
+                    "--threads" => {
+                        let n = rest.get(i + 1).ok_or("--threads needs a number")?;
+                        threads = n
+                            .parse()
+                            .map_err(|_| format!("invalid thread count `{n}`"))?;
+                        if threads == 0 {
+                            return Err("--threads must be at least 1".into());
+                        }
+                        i += 2;
+                    }
                     other => return Err(format!("unknown option `{other}`")),
                 }
             }
             Ok(Command::Run {
                 file: file.clone(),
                 check,
+                engine,
+                threads,
             })
         }
         "figure" => {
@@ -204,6 +274,20 @@ pub fn load(source: &str) -> Result<Loaded, String> {
     })
 }
 
+/// Prints one query's answer set under a `[label]` header.
+fn write_answers(out: &mut String, query: &Atom, label: &str, answers: &recurs_datalog::Relation) {
+    let _ = writeln!(out, "?- {query}   [{label}]");
+    if answers.arity() == 0 {
+        let _ = writeln!(out, "{}", if answers.is_empty() { "no" } else { "yes" });
+    } else {
+        for t in answers.iter_sorted() {
+            let row: Vec<&str> = t.iter().map(|v| v.as_str()).collect();
+            let _ = writeln!(out, "  {}", row.join(", "));
+        }
+        let _ = writeln!(out, "  ({} answers)", answers.len());
+    }
+}
+
 /// Runs a command against a source text, returning the printable output.
 pub fn run_on_source(cmd: &Command, source: &str) -> Result<String, String> {
     let mut out = String::new();
@@ -238,40 +322,100 @@ pub fn run_on_source(cmd: &Command, source: &str) -> Result<String, String> {
                 out.push('\n');
             }
         }
-        Command::Run { check, .. } => {
+        Command::Run {
+            check,
+            engine,
+            threads,
+            ..
+        } => {
             let loaded = load(source)?;
             if loaded.queries.is_empty() {
                 return Err("no ?- queries in the file".into());
             }
-            for query in &loaded.queries {
-                let plan = plan_query(&loaded.lr, query);
-                let answers = plan
-                    .execute(&loaded.db, query)
-                    .map_err(|e| format!("execution failed: {e}"))?;
-                let _ = writeln!(out, "?- {query}   [{:?}]", plan.strategy);
-                if answers.arity() == 0 {
-                    let _ = writeln!(
-                        out,
-                        "{}",
-                        if answers.is_empty() { "no" } else { "yes" }
-                    );
-                } else {
-                    for t in answers.iter_sorted() {
-                        let row: Vec<&str> = t.iter().map(|v| v.as_str()).collect();
-                        let _ = writeln!(out, "  {}", row.join(", "));
+            match engine {
+                None => {
+                    for query in &loaded.queries {
+                        let plan = plan_query(&loaded.lr, query);
+                        let answers = plan
+                            .execute(&loaded.db, query)
+                            .map_err(|e| format!("execution failed: {e}"))?;
+                        write_answers(&mut out, query, &format!("{:?}", plan.strategy), &answers);
+                        if *check {
+                            let report = compare(&loaded.lr, &loaded.db, query)
+                                .map_err(|e| format!("oracle failed: {e}"))?;
+                            let _ = writeln!(
+                                out,
+                                "  oracle: {}",
+                                if report.agrees() {
+                                    "agrees"
+                                } else {
+                                    "DISAGREES"
+                                }
+                            );
+                            if !report.agrees() {
+                                return Err(format!("plan disagrees with the fixpoint on {query}"));
+                            }
+                        }
                     }
-                    let _ = writeln!(out, "  ({} answers)", answers.len());
                 }
-                if *check {
-                    let report = compare(&loaded.lr, &loaded.db, query)
-                        .map_err(|e| format!("oracle failed: {e}"))?;
-                    let _ = writeln!(
-                        out,
-                        "  oracle: {}",
-                        if report.agrees() { "agrees" } else { "DISAGREES" }
-                    );
-                    if !report.agrees() {
-                        return Err(format!("plan disagrees with the fixpoint on {query}"));
+                Some(choice) => {
+                    // Saturate once with the chosen engine, then answer
+                    // every query against the fixpoint.
+                    let mut db = loaded.db.clone();
+                    let label = match choice {
+                        EngineChoice::Oracle => {
+                            let stats = semi_naive(&mut db, &loaded.lr.to_program(), None)
+                                .map_err(|e| format!("oracle engine failed: {e}"))?;
+                            format!("engine:oracle iterations={}", stats.iterations)
+                        }
+                        EngineChoice::Indexed | EngineChoice::Parallel => {
+                            let config = EngineConfig {
+                                mode: match choice {
+                                    EngineChoice::Parallel => {
+                                        EngineMode::Parallel { threads: *threads }
+                                    }
+                                    _ => EngineMode::Indexed,
+                                },
+                                max_iterations: None,
+                            };
+                            let stats = recurs_engine::run_linear(&mut db, &loaded.lr, &config)
+                                .map_err(|e| format!("engine failed: {e}"))?;
+                            format!(
+                                "engine:{} kernel:{} iterations={}",
+                                choice.label(),
+                                stats.kernel.map_or_else(|| "?".into(), |k| k.label()),
+                                stats.iteration_count()
+                            )
+                        }
+                    };
+                    // The oracle fixpoint for --check (computed once).
+                    let oracle_db = if *check {
+                        let mut odb = loaded.db.clone();
+                        semi_naive(&mut odb, &loaded.lr.to_program(), None)
+                            .map_err(|e| format!("oracle failed: {e}"))?;
+                        Some(odb)
+                    } else {
+                        None
+                    };
+                    for query in &loaded.queries {
+                        let answers =
+                            answer_query(&db, query).map_err(|e| format!("query failed: {e}"))?;
+                        write_answers(&mut out, query, &label, &answers);
+                        if let Some(odb) = &oracle_db {
+                            let expected = answer_query(odb, query)
+                                .map_err(|e| format!("oracle query failed: {e}"))?;
+                            let agrees = answers == expected;
+                            let _ = writeln!(
+                                out,
+                                "  oracle: {}",
+                                if agrees { "agrees" } else { "DISAGREES" }
+                            );
+                            if !agrees {
+                                return Err(format!(
+                                    "engine disagrees with the fixpoint on {query}"
+                                ));
+                            }
+                        }
                     }
                 }
             }
@@ -313,7 +457,9 @@ E(1, 2). E(2, 3). E(2, 4).
     fn parse_args_variants() {
         assert_eq!(
             parse_args(&args(&["classify", "f.dl"])).unwrap(),
-            Command::Classify { file: "f.dl".into() }
+            Command::Classify {
+                file: "f.dl".into()
+            }
         );
         assert_eq!(
             parse_args(&args(&["plan", "f.dl", "--form", "dv"])).unwrap(),
@@ -326,9 +472,30 @@ E(1, 2). E(2, 3). E(2, 4).
             parse_args(&args(&["run", "f.dl", "--check"])).unwrap(),
             Command::Run {
                 file: "f.dl".into(),
-                check: true
+                check: true,
+                engine: None,
+                threads: 2
             }
         );
+        assert_eq!(
+            parse_args(&args(&[
+                "run",
+                "f.dl",
+                "--engine",
+                "parallel",
+                "--threads",
+                "4"
+            ]))
+            .unwrap(),
+            Command::Run {
+                file: "f.dl".into(),
+                check: false,
+                engine: Some(EngineChoice::Parallel),
+                threads: 4
+            }
+        );
+        assert!(parse_args(&args(&["run", "f.dl", "--engine", "warp"])).is_err());
+        assert!(parse_args(&args(&["run", "f.dl", "--threads", "0"])).is_err());
         assert_eq!(
             parse_args(&args(&["figure", "f.dl", "--levels", "3", "--dot"])).unwrap(),
             Command::Figure {
@@ -347,7 +514,9 @@ E(1, 2). E(2, 3). E(2, 4).
     #[test]
     fn classify_command_output() {
         let out = run_on_source(
-            &Command::Classify { file: String::new() },
+            &Command::Classify {
+                file: String::new(),
+            },
             TC,
         )
         .unwrap();
@@ -361,6 +530,8 @@ E(1, 2). E(2, 3). E(2, 4).
             &Command::Run {
                 file: String::new(),
                 check: true,
+                engine: None,
+                threads: 2,
             },
             TC,
         )
@@ -371,6 +542,54 @@ E(1, 2). E(2, 3). E(2, 4).
         assert!(out.contains("yes"), "{out}");
         assert!(out.contains("no"), "{out}");
         assert!(out.contains("oracle: agrees"), "{out}");
+    }
+
+    #[test]
+    fn run_command_engine_modes_agree_with_plans() {
+        let plan_out = run_on_source(
+            &Command::Run {
+                file: String::new(),
+                check: false,
+                engine: None,
+                threads: 2,
+            },
+            TC,
+        )
+        .unwrap();
+        for choice in [
+            EngineChoice::Oracle,
+            EngineChoice::Indexed,
+            EngineChoice::Parallel,
+        ] {
+            let out = run_on_source(
+                &Command::Run {
+                    file: String::new(),
+                    check: true,
+                    engine: Some(choice),
+                    threads: 3,
+                },
+                TC,
+            )
+            .unwrap();
+            assert!(out.contains(&format!("engine:{}", choice.label())), "{out}");
+            assert!(out.contains("oracle: agrees"), "{out}");
+            // Same answer lines as the plan-driven run (headers differ).
+            for line in plan_out.lines().filter(|l| l.starts_with("  ")) {
+                assert!(out.contains(line), "missing `{line}` in {out}");
+            }
+        }
+        // The indexed engine reports the class-selected kernel for TC (A5).
+        let out = run_on_source(
+            &Command::Run {
+                file: String::new(),
+                check: false,
+                engine: Some(EngineChoice::Indexed),
+                threads: 2,
+            },
+            TC,
+        )
+        .unwrap();
+        assert!(out.contains("kernel:frontier"), "{out}");
     }
 
     #[test]
@@ -430,6 +649,8 @@ E(1, 2). E(2, 3). E(2, 4).
             &Command::Run {
                 file: String::new(),
                 check: false,
+                engine: None,
+                threads: 2,
             },
             "P(x, y) :- A(x, z), P(z, y).\nP(x, y) :- E(x, y).",
         )
@@ -446,6 +667,8 @@ E(1, 2). E(2, 3). E(2, 4).
             &Command::Run {
                 file: String::new(),
                 check: true,
+                engine: None,
+                threads: 2,
             },
             src,
         )

@@ -1,7 +1,7 @@
 //! Integration tests driving the CLI commands over the shipped `datasets/`
 //! files — the same flows a user runs from the shell.
 
-use recurs_cli::{run_on_source, Command};
+use recurs_cli::{run_on_source, Command, EngineChoice};
 
 fn dataset(name: &str) -> String {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../datasets");
@@ -9,17 +9,19 @@ fn dataset(name: &str) -> String {
         .unwrap_or_else(|e| panic!("cannot read dataset {name}: {e}"))
 }
 
+fn run_cmd(check: bool, engine: Option<EngineChoice>) -> Command {
+    Command::Run {
+        file: String::new(),
+        check,
+        engine,
+        threads: 3,
+    }
+}
+
 #[test]
 fn transitive_closure_dataset_runs_checked() {
     let src = dataset("transitive_closure.dl");
-    let out = run_on_source(
-        &Command::Run {
-            file: String::new(),
-            check: true,
-        },
-        &src,
-    )
-    .unwrap();
+    let out = run_on_source(&run_cmd(true, None), &src).unwrap();
     assert!(out.contains("[Counting]"), "{out}");
     assert!(out.contains("yes"), "{out}");
     assert!(out.contains("no"), "{out}");
@@ -30,7 +32,9 @@ fn transitive_closure_dataset_runs_checked() {
 fn transitive_closure_dataset_classifies() {
     let src = dataset("transitive_closure.dl");
     let out = run_on_source(
-        &Command::Classify { file: String::new() },
+        &Command::Classify {
+            file: String::new(),
+        },
         &src,
     )
     .unwrap();
@@ -40,14 +44,7 @@ fn transitive_closure_dataset_classifies() {
 #[test]
 fn bounded_dataset_uses_bounded_strategy() {
     let src = dataset("bounded_s8.dl");
-    let out = run_on_source(
-        &Command::Run {
-            file: String::new(),
-            check: true,
-        },
-        &src,
-    )
-    .unwrap();
+    let out = run_on_source(&run_cmd(true, None), &src).unwrap();
     assert!(out.contains("[Bounded]"), "{out}");
     assert!(!out.contains("DISAGREES"), "{out}");
 }
@@ -55,16 +52,54 @@ fn bounded_dataset_uses_bounded_strategy() {
 #[test]
 fn mixed_dataset_uses_magic_strategy() {
     let src = dataset("mixed_s12.dl");
-    let out = run_on_source(
-        &Command::Run {
-            file: String::new(),
-            check: true,
-        },
-        &src,
-    )
-    .unwrap();
+    let out = run_on_source(&run_cmd(true, None), &src).unwrap();
     assert!(out.contains("[Magic]"), "{out}");
     assert!(!out.contains("DISAGREES"), "{out}");
+}
+
+/// Every dataset, under every `--engine` mode (each with `--check` against
+/// the fixpoint oracle), must produce the exact same answer lines.
+#[test]
+fn every_engine_agrees_on_every_dataset() {
+    for name in ["transitive_closure.dl", "bounded_s8.dl", "mixed_s12.dl"] {
+        let src = dataset(name);
+        let mut answer_sets: Vec<Vec<String>> = Vec::new();
+        for engine in [
+            EngineChoice::Oracle,
+            EngineChoice::Indexed,
+            EngineChoice::Parallel,
+        ] {
+            let out = run_on_source(&run_cmd(true, Some(engine)), &src)
+                .unwrap_or_else(|e| panic!("{name} with {}: {e}", engine.label()));
+            assert!(
+                out.contains(&format!("engine:{}", engine.label())),
+                "{name}: {out}"
+            );
+            assert!(!out.contains("DISAGREES"), "{name}: {out}");
+            // Answer lines only — the [engine:…] headers legitimately differ.
+            let answers: Vec<String> = out
+                .lines()
+                .filter(|l| !l.starts_with("?-"))
+                .map(String::from)
+                .collect();
+            answer_sets.push(answers);
+        }
+        assert_eq!(answer_sets[0], answer_sets[1], "{name}: oracle vs indexed");
+        assert_eq!(answer_sets[0], answer_sets[2], "{name}: oracle vs parallel");
+    }
+}
+
+/// The engines report the paper-class-selected kernel per dataset.
+#[test]
+fn engine_reports_class_selected_kernels() {
+    for (name, kernel) in [
+        ("transitive_closure.dl", "kernel:frontier"),
+        ("bounded_s8.dl", "kernel:unroll(2)"),
+    ] {
+        let src = dataset(name);
+        let out = run_on_source(&run_cmd(false, Some(EngineChoice::Indexed)), &src).unwrap();
+        assert!(out.contains(kernel), "{name}: {out}");
+    }
 }
 
 #[test]

@@ -42,11 +42,7 @@ pub fn build_plan(lr: &LinearRecursion) -> Option<BoundedPlan> {
 /// unioning the per-level answers. The result is over the query's distinct
 /// variables in first-occurrence order, matching
 /// [`recurs_datalog::eval::answer_query`].
-pub fn execute(
-    plan: &BoundedPlan,
-    db: &Database,
-    query: &Atom,
-) -> Result<Relation, DatalogError> {
+pub fn execute(plan: &BoundedPlan, db: &Database, query: &Atom) -> Result<Relation, DatalogError> {
     let mut out: Option<Relation> = None;
     for rule in &plan.levels.rules {
         let level = eval_specialized(db, rule, query)?;
@@ -107,7 +103,9 @@ pub fn eval_specialized(
     }
     let mut outs: Vec<Out> = Vec::with_capacity(query_vars.len());
     for &orig in &query_vars {
-        let renamed = *renaming.get(orig).expect("every query variable was renamed");
+        let renamed = *renaming
+            .get(orig)
+            .expect("every query variable was renamed");
         match mgu.resolve(renamed) {
             recurs_datalog::Term::Const(c) => outs.push(Out::Fixed(c)),
             recurs_datalog::Term::Var(v) => match bindings.column_of(v) {
@@ -216,7 +214,10 @@ mod tests {
     fn s10_acyclic_queries() {
         let f = lr("P(x, y) :- B(y), C(x, y1), P(x1, y1).\nP(x, y) :- E(x, y).");
         let mut db = Database::new();
-        db.insert_relation("B", Relation::from_tuples(1, [tuple_u64([5]), tuple_u64([6])]));
+        db.insert_relation(
+            "B",
+            Relation::from_tuples(1, [tuple_u64([5]), tuple_u64([6])]),
+        );
         db.insert_relation("C", Relation::from_pairs([(1, 7), (2, 8)]));
         db.insert_relation("E", Relation::from_pairs([(9, 7), (9, 8), (3, 5)]));
         check(&f, &db, "P(x, y)");

@@ -207,8 +207,7 @@ impl Classification {
 
     /// Theorem 1: strongly stable iff only disjoint unit cycles.
     pub fn is_strongly_stable(&self) -> bool {
-        !self.component_classes.is_empty()
-            && self.component_classes.iter().all(|c| c.is_unit())
+        !self.component_classes.is_empty() && self.component_classes.iter().all(|c| c.is_unit())
     }
 
     /// Corollary 3: transformable to an equivalent unit-cycle (stable)
@@ -241,8 +240,7 @@ impl Classification {
     /// and Theorems 10/11: every component must be bounded on its own
     /// (permutational A2/A4, bounded cycle B, or acyclic D).
     pub fn is_bounded(&self) -> bool {
-        !self.component_classes.is_empty()
-            && self.component_classes.iter().all(|c| c.is_bounded())
+        !self.component_classes.is_empty() && self.component_classes.iter().all(|c| c.is_bounded())
     }
 
     /// A *proven* upper bound on the rank of a bounded formula:
@@ -273,10 +271,12 @@ impl Classification {
                 }
             }
         }
-        let has_nonperm = self
-            .component_classes
-            .iter()
-            .any(|c| matches!(c, ComponentClass::BoundedCycle | ComponentClass::NoNontrivialCycle));
+        let has_nonperm = self.component_classes.iter().any(|c| {
+            matches!(
+                c,
+                ComponentClass::BoundedCycle | ComponentClass::NoNontrivialCycle
+            )
+        });
         if !has_nonperm {
             return Some(perm_lcm - 1);
         }
@@ -485,8 +485,7 @@ mod tests {
         assert!(!c.is_transformable_to_stable()); // Theorem 9
         assert!(!c.is_bounded());
         // Components: one dependent (E) + one unit rotational (A1).
-        let mut labels: Vec<&str> =
-            c.component_classes.iter().map(|c| c.label()).collect();
+        let mut labels: Vec<&str> = c.component_classes.iter().map(|c| c.label()).collect();
         labels.sort();
         assert_eq!(labels, vec!["A1", "E"]);
     }

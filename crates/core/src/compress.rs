@@ -69,11 +69,8 @@ pub fn compress(lr: &LinearRecursion) -> Compressed {
     let condensed = condense(&igraph_of(rule));
     let rec_atom = lr.recursive_body_atom().clone();
     // Interface variables: endpoints of directed edges.
-    let interface_vars: BTreeSet<Symbol> = rule
-        .head
-        .variables()
-        .chain(rec_atom.variables())
-        .collect();
+    let interface_vars: BTreeSet<Symbol> =
+        rule.head.variables().chain(rec_atom.variables()).collect();
     // Group → atoms.
     let mut group_atoms: HashMap<usize, Vec<Atom>> = HashMap::new();
     for atom in lr.nonrecursive_body_atoms() {
@@ -162,10 +159,7 @@ mod tests {
         assert_eq!(cp.name.as_str(), "ABC");
         assert_eq!(cp.members.len(), 3);
         // Interface: x and u (z is internal).
-        assert_eq!(
-            cp.interface,
-            vec![Symbol::intern("u"), Symbol::intern("x")]
-        );
+        assert_eq!(cp.interface, vec![Symbol::intern("u"), Symbol::intern("x")]);
         // The compressed rule is the paper's P(x,y) :- ABC(x,u), P(u,y)
         // (argument order follows the group's sorted interface).
         assert_eq!(c.lr.recursive_rule.body.len(), 2);

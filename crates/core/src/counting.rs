@@ -173,11 +173,7 @@ fn walk_up(x: &Relation, col: usize, step: &StepRel) -> Relation {
 /// Returns the answer relation over the query's free positions, in position
 /// order (for an all-bound query the result has arity 0 and is non-empty iff
 /// the query holds).
-pub fn execute(
-    plan: &CountingPlan,
-    db: &Database,
-    query: &Atom,
-) -> Result<Relation, DatalogError> {
+pub fn execute(plan: &CountingPlan, db: &Database, query: &Atom) -> Result<Relation, DatalogError> {
     assert_eq!(
         query.predicate, plan.lr.predicate,
         "query must target the recursive predicate"
@@ -327,7 +323,9 @@ pub fn execute(
     let mut keep: Vec<usize> = Vec::new();
     let mut result = a;
     for (fi, &pos) in free.iter().enumerate() {
-        let v = query.terms[pos].as_var().expect("free positions are variables");
+        let v = query.terms[pos]
+            .as_var()
+            .expect("free positions are variables");
         if let Some(&fj) = first.get(&v) {
             result = recurs_datalog::algebra::select_col_eq(&result, fj, fi);
         } else {
@@ -381,9 +379,7 @@ mod tests {
 
     #[test]
     fn plan_structure_for_s3() {
-        let lr = stable_lr(
-            "P(x,y,z) :- A(x,u), B(y,v), P(u,v,w), C(w,z).\nP(x,y,z) :- E(x,y,z).",
-        );
+        let lr = stable_lr("P(x,y,z) :- A(x,u), B(y,v), P(u,v,w), C(w,z).\nP(x,y,z) :- E(x,y,z).");
         let plan = build_plan(&lr).unwrap();
         assert_eq!(plan.chains.len(), 3);
         assert!(plan.guards.is_empty());
@@ -450,9 +446,7 @@ mod tests {
 
     #[test]
     fn s3_three_dimensional_query() {
-        let lr = stable_lr(
-            "P(x,y,z) :- A(x,u), B(y,v), P(u,v,w), C(w,z).\nP(x,y,z) :- E(x,y,z).",
-        );
+        let lr = stable_lr("P(x,y,z) :- A(x,u), B(y,v), P(u,v,w), C(w,z).\nP(x,y,z) :- E(x,y,z).");
         let mut db = Database::new();
         db.insert_relation("A", Relation::from_pairs([(1, 2), (2, 3)]));
         db.insert_relation("B", Relation::from_pairs([(4, 5), (5, 6)]));
@@ -469,9 +463,7 @@ mod tests {
     fn guards_gate_recursive_levels() {
         // D(a,b) is a trivial component: if D is empty, only the exit level
         // contributes.
-        let lr = stable_lr(
-            "P(x, y) :- A(x, z), D(a, b), P(z, y).\nP(x, y) :- E(x, y).",
-        );
+        let lr = stable_lr("P(x, y) :- A(x, z), D(a, b), P(z, y).\nP(x, y) :- E(x, y).");
         let plan = build_plan(&lr).unwrap();
         assert_eq!(plan.guards.len(), 1);
         let mut db = Database::new();
@@ -500,9 +492,8 @@ mod tests {
 
     #[test]
     fn multiple_exit_rules() {
-        let lr = stable_lr(
-            "P(x, y) :- A(x, z), P(z, y).\nP(x, y) :- E(x, y).\nP(x, y) :- F(y, x).",
-        );
+        let lr =
+            stable_lr("P(x, y) :- A(x, z), P(z, y).\nP(x, y) :- E(x, y).\nP(x, y) :- F(y, x).");
         let mut db = Database::new();
         db.insert_relation("A", Relation::from_pairs([(1, 2), (2, 3)]));
         db.insert_relation("E", Relation::from_pairs([(2, 9)]));
@@ -513,9 +504,8 @@ mod tests {
 
     #[test]
     fn non_stable_formula_has_no_plan() {
-        let lr = stable_lr(
-            "P(x, y, z) :- A(x, y), B(u, v), P(u, z, v).\nP(x, y, z) :- E(x, y, z).",
-        );
+        let lr =
+            stable_lr("P(x, y, z) :- A(x, y), B(u, v), P(u, z, v).\nP(x, y, z) :- E(x, y, z).");
         assert!(build_plan(&lr).is_none());
     }
 }

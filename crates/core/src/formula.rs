@@ -189,11 +189,11 @@ mod tests {
     #[test]
     fn renders_existence_plan() {
         // (∃ ∪k (AB)^k (E ⋈ B)) A   — s9's P(v,v,d) plan.
-        let chain = FExpr::rel("AB")
-            .pow(Power::K)
-            .then(FExpr::Join(Box::new(FExpr::rel("E")), Box::new(FExpr::rel("B"))));
-        let plan = FExpr::Exists(Box::new(FExpr::UnionK(Box::new(chain))))
-            .then(FExpr::rel("A"));
+        let chain = FExpr::rel("AB").pow(Power::K).then(FExpr::Join(
+            Box::new(FExpr::rel("E")),
+            Box::new(FExpr::rel("B")),
+        ));
+        let plan = FExpr::Exists(Box::new(FExpr::UnionK(Box::new(chain)))).then(FExpr::rel("A"));
         assert_eq!(plan.to_string(), "(∃ ∪k[AB^k-(E ⋈ B)])-A");
     }
 

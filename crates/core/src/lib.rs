@@ -62,9 +62,9 @@ pub mod report;
 pub mod stability;
 pub mod transform;
 
+pub use algebra_plan::{eval_plan, PlanExpr};
 pub use classify::{Classification, ComponentClass, FormulaClass, OneDirectionalSubclass};
+pub use compress::{compress, Compressed};
 pub use formula::{CompiledFormula, FExpr, Power};
 pub use plan::{plan_for_form, plan_query, QueryPlan, StrategyKind};
-pub use algebra_plan::{eval_plan, PlanExpr};
-pub use compress::{compress, Compressed};
 pub use transform::{to_nonrecursive, unfold_to_stable, StableTransform};

@@ -94,10 +94,7 @@ pub fn build_plan(lr: &LinearRecursion, form: &QueryForm) -> MagicPlan {
         } else {
             Some(Atom::new(
                 magic_name(p, a),
-                bound
-                    .iter()
-                    .map(|&i| rule.head.terms[i])
-                    .collect(),
+                bound.iter().map(|&i| rule.head.terms[i]).collect(),
             ))
         };
 
@@ -116,10 +113,7 @@ pub fn build_plan(lr: &LinearRecursion, form: &QueryForm) -> MagicPlan {
             let mut body = Vec::new();
             body.extend(exit_magic);
             body.extend(exit.body.iter().cloned());
-            rules.push(Rule::new(
-                Atom::new(pa, exit.head.terms.clone()),
-                body,
-            ));
+            rules.push(Rule::new(Atom::new(pa, exit.head.terms.clone()), body));
         }
 
         // Adorned recursive rule:
@@ -144,8 +138,7 @@ pub fn build_plan(lr: &LinearRecursion, form: &QueryForm) -> MagicPlan {
                 .iter()
                 .filter_map(|&i| rule.head.terms[i].as_var())
                 .collect();
-            let closure =
-                recurs_datalog::adornment::determined_closure(rule, p, &seed);
+            let closure = recurs_datalog::adornment::determined_closure(rule, p, &seed);
             let mut body: Vec<Atom> = Vec::new();
             body.extend(magic_atom);
             for atom in lr.nonrecursive_body_atoms() {
@@ -185,7 +178,10 @@ pub fn execute(
     db: &Database,
     query: &Atom,
 ) -> Result<(Relation, EvalStats), DatalogError> {
-    assert_eq!(query.predicate, plan.lr.predicate, "query predicate mismatch");
+    assert_eq!(
+        query.predicate, plan.lr.predicate,
+        "query predicate mismatch"
+    );
     assert_eq!(
         QueryForm::of_atom(query),
         plan.form,
@@ -193,11 +189,7 @@ pub fn execute(
     );
     let mut db = db.clone();
     if let Some(seed) = plan.seed_predicate {
-        let constants: Tuple = query
-            .terms
-            .iter()
-            .filter_map(Term::as_const)
-            .collect();
+        let constants: Tuple = query.terms.iter().filter_map(Term::as_const).collect();
         db.declare(seed, constants.len())?;
         db.insert(seed, constants)?;
     }
@@ -205,7 +197,8 @@ pub fn execute(
     // all-free form has no magic), so rule bodies can always be evaluated.
     for rule in &plan.program.rules {
         for atom in &rule.body {
-            if !db.contains(atom.predicate) && plan.program.rules_for(atom.predicate).next().is_none()
+            if !db.contains(atom.predicate)
+                && plan.program.rules_for(atom.predicate).next().is_none()
             {
                 db.declare(atom.predicate, atom.arity())?;
             }
@@ -257,8 +250,14 @@ mod tests {
     fn tc_queries() {
         let f = tc();
         let mut db = Database::new();
-        db.insert_relation("A", Relation::from_pairs([(1, 2), (2, 3), (3, 4), (10, 11)]));
-        db.insert_relation("E", Relation::from_pairs([(1, 2), (2, 3), (3, 4), (10, 11)]));
+        db.insert_relation(
+            "A",
+            Relation::from_pairs([(1, 2), (2, 3), (3, 4), (10, 11)]),
+        );
+        db.insert_relation(
+            "E",
+            Relation::from_pairs([(1, 2), (2, 3), (3, 4), (10, 11)]),
+        );
         check(&f, &db, "P('1', y)");
         check(&f, &db, "P(x, '4')");
         check(&f, &db, "P(x, y)");

@@ -156,8 +156,7 @@ pub fn plan_for_form(lr: &LinearRecursion, form: &QueryForm) -> QueryPlan {
     if classification.is_transformable_to_stable() {
         let transform = unfold_to_stable(lr).expect("class A is transformable");
         let stable = transform.to_linear_recursion();
-        let plan = counting::build_plan(&stable)
-            .expect("the unfolded formula is strongly stable");
+        let plan = counting::build_plan(&stable).expect("the unfolded formula is strongly stable");
         let compiled = compiled_counting(&plan, form);
         return QueryPlan {
             classification,
@@ -191,8 +190,11 @@ fn compiled_bounded(plan: &BoundedPlan) -> CompiledFormula {
         .map(|rule| FExpr::Sigma(Box::new(chain_of_rule(rule))))
         .collect();
     CompiledFormula {
-        strategy: format!("bounded: finite union of {} levels (rank {})",
-            plan.levels.rules.len(), plan.rank),
+        strategy: format!(
+            "bounded: finite union of {} levels (rank {})",
+            plan.levels.rules.len(),
+            plan.rank
+        ),
         parts,
     }
 }
@@ -416,8 +418,10 @@ mod tests {
 
     #[test]
     fn a3_formula_transforms_then_counts() {
-        let f = lr("P(x1,x2,x3) :- A(x1,y3), B(x2,y1), C(y2,x3), P(y1,y2,y3).\n\
-                    P(x1,x2,x3) :- E(x1,x2,x3).");
+        let f = lr(
+            "P(x1,x2,x3) :- A(x1,y3), B(x2,y1), C(y2,x3), P(y1,y2,y3).\n\
+                    P(x1,x2,x3) :- E(x1,x2,x3).",
+        );
         let mut db = Database::new();
         db.insert_relation("A", Relation::from_pairs([(1, 2), (2, 3), (3, 4), (4, 5)]));
         db.insert_relation("B", Relation::from_pairs([(11, 12), (12, 13), (13, 14)]));
@@ -475,10 +479,7 @@ mod tests {
         let f = lr("P(x,y,z) :- A(x,u), B(y,v), P(u,v,w), C(w,z).\n\
                     P(x,y,z) :- E(x,y,z).");
         let plan = plan_for_form(&f, &QueryForm::parse("ddv"));
-        assert_eq!(
-            plan.compiled.to_string(),
-            "σE,  ∪k[{σA^k ‖ σB^k}-E-C^k]"
-        );
+        assert_eq!(plan.compiled.to_string(), "σE,  ∪k[{σA^k ‖ σB^k}-E-C^k]");
     }
 
     #[test]

@@ -34,7 +34,9 @@ pub fn classification_report(lr: &LinearRecursion) -> String {
             let _ = writeln!(out, "  - trivial (no directed edge)");
             continue;
         }
-        let label = class_iter.next().expect("aligned with nontrivial components");
+        let label = class_iter
+            .next()
+            .expect("aligned with nontrivial components");
         let detail = match &comp.kind {
             ComponentKind::IndependentCycle(cy) => format!(
                 "independent cycle, weight {}, {}",
@@ -94,13 +96,17 @@ pub fn plan_report(lr: &LinearRecursion, form: &QueryForm) -> String {
         }
     );
     if let Some(t) = &plan.transform {
-        let _ = writeln!(out, "transformation  : unfolded {}×, {} exit rules", t.period, t.exit_rules.len());
+        let _ = writeln!(
+            out,
+            "transformation  : unfolded {}×, {} exit rules",
+            t.period,
+            t.exit_rules.len()
+        );
     }
     let _ = writeln!(out, "compiled formula: {}", plan.compiled);
     let _ = writeln!(out, "strategy detail : {}", plan.compiled.strategy);
     // Propagation trace.
-    let (trace, cycle) =
-        recurs_datalog::adornment::propagation_trace(&lr.recursive_rule, form, 16);
+    let (trace, cycle) = recurs_datalog::adornment::propagation_trace(&lr.recursive_rule, form, 16);
     let rendered: Vec<String> = trace.iter().map(|f| f.to_string()).collect();
     let _ = writeln!(
         out,

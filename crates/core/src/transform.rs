@@ -129,8 +129,10 @@ mod tests {
     fn s4_unfolds_three_times() {
         // Example 4: weight-3 cycle; transformed formula has the original
         // exit plus two more (s4a′ and s4c′).
-        let f = lr("P(x1,x2,x3) :- A(x1,y3), B(x2,y1), C(y2,x3), P(y1,y2,y3).\n\
-                    P(x1,x2,x3) :- E(x1,x2,x3).");
+        let f = lr(
+            "P(x1,x2,x3) :- A(x1,y3), B(x2,y1), C(y2,x3), P(y1,y2,y3).\n\
+                    P(x1,x2,x3) :- E(x1,x2,x3).",
+        );
         let t = unfold_to_stable(&f).expect("class A3 is transformable");
         assert_eq!(t.period, 3);
         assert_eq!(t.exit_rules.len(), 3);
@@ -142,8 +144,10 @@ mod tests {
 
     #[test]
     fn s4_transform_preserves_semantics() {
-        let f = lr("P(x1,x2,x3) :- A(x1,y3), B(x2,y1), C(y2,x3), P(y1,y2,y3).\n\
-                    P(x1,x2,x3) :- E(x1,x2,x3).");
+        let f = lr(
+            "P(x1,x2,x3) :- A(x1,y3), B(x2,y1), C(y2,x3), P(y1,y2,y3).\n\
+                    P(x1,x2,x3) :- E(x1,x2,x3).",
+        );
         let t = unfold_to_stable(&f).unwrap();
         let mut db = Database::new();
         db.insert_relation("A", Relation::from_pairs([(1, 2), (2, 3), (3, 4), (4, 5)]));
@@ -153,7 +157,11 @@ mod tests {
             "E",
             Relation::from_tuples(
                 3,
-                [tuple_u64([2, 12, 22]), tuple_u64([3, 13, 23]), tuple_u64([4, 11, 21])],
+                [
+                    tuple_u64([2, 12, 22]),
+                    tuple_u64([3, 13, 23]),
+                    tuple_u64([4, 11, 21]),
+                ],
             ),
         );
         let mut db2 = db.clone();

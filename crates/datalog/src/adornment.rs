@@ -239,7 +239,10 @@ mod tests {
         let closure = determined_closure(&r, Symbol::intern("P"), &seed);
         // x →A→ u →C→ v →B→ y; w and z are out of reach.
         for v in ["x", "u", "v", "y"] {
-            assert!(closure.contains(&Symbol::intern(v)), "{v} should be determined");
+            assert!(
+                closure.contains(&Symbol::intern(v)),
+                "{v} should be determined"
+            );
         }
         for v in ["w", "z"] {
             assert!(!closure.contains(&Symbol::intern(v)), "{v} should be free");
@@ -287,7 +290,10 @@ mod tests {
         // Thm 1's counterexample: P(x,y) :- A(x,z), P(y,z).
         // Query dv: x determined → z determined via A; P(y,z) gets pattern vd.
         let r = parse_rule("P(x,y) :- A(x,z), P(y,z).").unwrap();
-        assert_eq!(propagate(&r, &QueryForm::parse("dv")), QueryForm::parse("vd"));
+        assert_eq!(
+            propagate(&r, &QueryForm::parse("dv")),
+            QueryForm::parse("vd")
+        );
     }
 
     #[test]

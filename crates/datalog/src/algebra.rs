@@ -15,10 +15,7 @@ use crate::term::Value;
 /// σ — keeps tuples whose column `col` equals `value`.
 pub fn select_eq(rel: &Relation, col: usize, value: Value) -> Relation {
     assert!(col < rel.arity(), "selection column out of range");
-    Relation::from_tuples(
-        rel.arity(),
-        rel.iter().filter(|t| t[col] == value).cloned(),
-    )
+    Relation::from_tuples(rel.arity(), rel.iter().filter(|t| t[col] == value).cloned())
 }
 
 /// σ with several `column = value` conditions (all must hold).

@@ -106,8 +106,7 @@ impl Database {
     pub fn load_facts(&mut self, program: &Program) -> Result<Program, DatalogError> {
         let mut rest = Vec::new();
         for rule in &program.rules {
-            let ground = rule.body.is_empty()
-                && rule.head.terms.iter().all(|t| !t.is_var());
+            let ground = rule.body.is_empty() && rule.head.terms.iter().all(|t| !t.is_var());
             if ground {
                 let t: Tuple = rule
                     .head

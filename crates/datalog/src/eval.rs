@@ -56,10 +56,7 @@ impl Bindings {
     pub fn project_vars(&self, vars: &[Symbol]) -> Result<Relation, DatalogError> {
         let cols: Vec<usize> = vars
             .iter()
-            .map(|&v| {
-                self.column_of(v)
-                    .ok_or(DatalogError::UnboundVariable(v))
-            })
+            .map(|&v| self.column_of(v).ok_or(DatalogError::UnboundVariable(v)))
             .collect::<Result<_, _>>()?;
         Ok(crate::algebra::project(&self.rel, &cols))
     }
@@ -225,6 +222,179 @@ fn head_tuples(head: &Atom, bindings: &Bindings) -> Result<Relation, DatalogErro
     Ok(out)
 }
 
+/// A differentiated recursive-rule variant prepared for repeated
+/// evaluation: the join order is fixed (delta atom first), every
+/// non-recursive (EDB) body atom is normalized once, and the hash index the
+/// join would otherwise rebuild per iteration is built once here. Only the
+/// delta atom and non-delta IDB occurrences stay dynamic — their relations
+/// change as the fixpoint grows.
+struct PreparedVariant {
+    head: Atom,
+    delta_pos: usize,
+    delta_vars: Vec<Symbol>,
+    steps: Vec<PreparedStep>,
+}
+
+enum PreparedStep {
+    /// An EDB atom with at least one variable shared with the prefix:
+    /// probe the prebuilt index.
+    Indexed {
+        /// `(accumulator column, index key order)` — the key is the shared
+        /// variables' values in the order they appear in `key_cols`.
+        acc_cols: Vec<usize>,
+        /// Normalized-relation tuples keyed by the shared columns.
+        index: HashMap<Vec<Value>, Vec<Tuple>>,
+        /// Columns of the normalized tuple appended to the accumulator.
+        new_cols: Vec<usize>,
+        /// New variables those columns carry.
+        new_vars: Vec<Symbol>,
+    },
+    /// An EDB atom sharing no variable with the prefix: Cartesian product
+    /// with the (pre-normalized) relation.
+    Product { rel: Relation, vars: Vec<Symbol> },
+    /// An IDB atom (a non-delta recursive occurrence): normalized against
+    /// the live database every iteration, as before.
+    Dynamic { pos: usize },
+}
+
+/// Prepares one `(rule, delta position)` variant. `db` supplies relation
+/// sizes for the ordering heuristic and the EDB relations to index; IDB
+/// predicates (members of `idb`) are left dynamic.
+fn prepare_variant(
+    rule: &Rule,
+    delta_pos: usize,
+    db: &Database,
+    idb: &BTreeSet<Symbol>,
+) -> Result<PreparedVariant, DatalogError> {
+    let order = crate::order::order_atoms(&rule.body, db, Some(delta_pos));
+    debug_assert_eq!(order[0], delta_pos);
+    let delta_vars: Vec<Symbol> = {
+        // Distinct variables of the delta atom in first-occurrence order —
+        // the accumulator layout normalize_atom will produce at runtime.
+        let mut seen = Vec::new();
+        for v in rule.body[delta_pos].variables() {
+            if !seen.contains(&v) {
+                seen.push(v);
+            }
+        }
+        seen
+    };
+    let mut acc_vars = delta_vars.clone();
+    let mut steps = Vec::new();
+    for &pos in &order[1..] {
+        let atom = &rule.body[pos];
+        if idb.contains(&atom.predicate) {
+            // Simulate the extend so later steps see the right layout.
+            for v in atom.variables() {
+                if !acc_vars.contains(&v) {
+                    acc_vars.push(v);
+                }
+            }
+            steps.push(PreparedStep::Dynamic { pos });
+            continue;
+        }
+        let rel = db.require(atom.predicate)?;
+        let (vars, normalized) = normalize_atom(atom, rel);
+        let mut acc_cols = Vec::new();
+        let mut key_cols = Vec::new();
+        let mut new_cols = Vec::new();
+        let mut new_vars = Vec::new();
+        for (i, &v) in vars.iter().enumerate() {
+            match acc_vars.iter().position(|&a| a == v) {
+                Some(j) => {
+                    acc_cols.push(j);
+                    key_cols.push(i);
+                }
+                None => {
+                    new_cols.push(i);
+                    new_vars.push(v);
+                }
+            }
+        }
+        if acc_cols.is_empty() {
+            acc_vars.extend(new_vars.iter().copied());
+            steps.push(PreparedStep::Product {
+                rel: normalized.into_owned(),
+                vars,
+            });
+            continue;
+        }
+        // The index the join would rebuild every iteration, built once.
+        let mut index: HashMap<Vec<Value>, Vec<Tuple>> = HashMap::new();
+        for t in normalized.iter() {
+            let key: Vec<Value> = key_cols.iter().map(|&c| t[c]).collect();
+            index.entry(key).or_default().push(t.clone());
+        }
+        acc_vars.extend(new_vars.iter().copied());
+        steps.push(PreparedStep::Indexed {
+            acc_cols,
+            index,
+            new_cols,
+            new_vars,
+        });
+    }
+    Ok(PreparedVariant {
+        head: rule.head.clone(),
+        delta_pos,
+        delta_vars,
+        steps,
+    })
+}
+
+impl PreparedVariant {
+    /// Evaluates the variant against the current database with the given
+    /// delta relation, returning derived head tuples.
+    fn eval(&self, db: &Database, rule: &Rule, delta: &Relation) -> Result<Relation, DatalogError> {
+        let atom = &rule.body[self.delta_pos];
+        let (vars, normalized) = normalize_atom(atom, delta);
+        debug_assert_eq!(vars, self.delta_vars);
+        let mut acc = Bindings {
+            vars,
+            rel: normalized.into_owned(),
+        };
+        for step in &self.steps {
+            if acc.rel.is_empty() {
+                return Ok(Relation::new(self.head.arity()));
+            }
+            match step {
+                PreparedStep::Indexed {
+                    acc_cols,
+                    index,
+                    new_cols,
+                    new_vars,
+                } => {
+                    let mut out = Relation::new(acc.vars.len() + new_cols.len());
+                    for t in acc.rel.iter() {
+                        let key: Vec<Value> = acc_cols.iter().map(|&c| t[c]).collect();
+                        let Some(matches) = index.get(&key) else {
+                            continue;
+                        };
+                        for m in matches {
+                            out.insert(
+                                t.iter()
+                                    .copied()
+                                    .chain(new_cols.iter().map(|&c| m[c]))
+                                    .collect(),
+                            );
+                        }
+                    }
+                    acc.vars.extend(new_vars.iter().copied());
+                    acc.rel = out;
+                }
+                PreparedStep::Product { rel, vars } => {
+                    acc = extend_bindings(&acc, vars, rel);
+                }
+                PreparedStep::Dynamic { pos } => {
+                    let rel = db.require(rule.body[*pos].predicate)?;
+                    let (vars, normalized) = normalize_atom(&rule.body[*pos], rel);
+                    acc = extend_bindings(&acc, &vars, &normalized);
+                }
+            }
+        }
+        head_tuples(&self.head, &acc)
+    }
+}
+
 fn declare_idb(db: &mut Database, program: &Program) -> Result<(), DatalogError> {
     for rule in &program.rules {
         db.declare(rule.head.predicate, rule.head.arity())?;
@@ -322,13 +492,18 @@ pub fn semi_naive(
         }
     }
 
+    // Differentiated variants are prepared on first use and reused across
+    // iterations: EDB body atoms are normalized and indexed once there,
+    // instead of being re-normalized and re-indexed every iteration.
+    let mut prepared: HashMap<(usize, usize), PreparedVariant> = HashMap::new();
+
     loop {
         if true_delta.values().all(Relation::is_empty) {
             return Ok(stats);
         }
         stats.iterations += 1;
         let mut derived: HashMap<Symbol, Relation> = HashMap::new();
-        for rule in &program.rules {
+        for (rule_idx, rule) in program.rules.iter().enumerate() {
             let idb_positions: Vec<usize> = rule
                 .body
                 .iter()
@@ -348,9 +523,13 @@ pub fn semi_naive(
                 if d.is_empty() {
                     continue;
                 }
-                let mut overrides: HashMap<usize, &Relation> = HashMap::new();
-                overrides.insert(pos, d);
-                let out = eval_rule(db, rule, &overrides)?;
+                let variant = match prepared.entry((rule_idx, pos)) {
+                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(prepare_variant(rule, pos, db, &idb)?)
+                    }
+                };
+                let out = variant.eval(db, rule, d)?;
                 derived
                     .entry(rule.head.predicate)
                     .or_insert_with(|| Relation::new(rule.head.arity()))
@@ -545,23 +724,15 @@ mod tests {
         db.insert_relation("A", Relation::from_pairs([(1, 2), (2, 3)]));
         db.insert_relation("B", Relation::from_pairs([(4, 5), (5, 6)]));
         db.insert_relation("C", Relation::from_pairs([(7, 8), (8, 9)]));
-        db.insert_relation(
-            "E3",
-            Relation::from_tuples(3, [tuple_u64([3, 6, 7])]),
-        );
-        let program = parse_program(
-            "P(x,y,z) :- E3(x,y,z).\nP(x,y,z) :- A(x,u), B(y,v), P(u,v,w), C(w,z).",
-        )
-        .unwrap();
+        db.insert_relation("E3", Relation::from_tuples(3, [tuple_u64([3, 6, 7])]));
+        let program =
+            parse_program("P(x,y,z) :- E3(x,y,z).\nP(x,y,z) :- A(x,u), B(y,v), P(u,v,w), C(w,z).")
+                .unwrap();
         semi_naive(&mut db, &program, None).unwrap();
         let p = db.require("P").unwrap();
         // E3(3,6,7); expansion 1: A(2,3),B(5,6),P(3,6,7),C(7,8) → P(2,5,8);
         // expansion 2: A(1,2),B(4,5),P(2,5,8),C(8,9) → P(1,4,9).
         assert_eq!(p.len(), 3);
-        assert!(p.contains(&[
-            Value::from_u64(1),
-            Value::from_u64(4),
-            Value::from_u64(9)
-        ]));
+        assert!(p.contains(&[Value::from_u64(1), Value::from_u64(4), Value::from_u64(9)]));
     }
 }

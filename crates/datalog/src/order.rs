@@ -28,9 +28,7 @@ pub fn order_atoms(body: &[Atom], db: &Database, pinned_first: Option<usize>) ->
     let mut remaining: Vec<usize> = (0..n).collect();
     let mut bound: BTreeSet<Symbol> = BTreeSet::new();
 
-    let size_of = |i: usize| -> usize {
-        db.get(body[i].predicate).map_or(usize::MAX, |r| r.len())
-    };
+    let size_of = |i: usize| -> usize { db.get(body[i].predicate).map_or(usize::MAX, |r| r.len()) };
     let constants_in = |i: usize| -> usize {
         body[i]
             .terms
@@ -43,9 +41,9 @@ pub fn order_atoms(body: &[Atom], db: &Database, pinned_first: Option<usize>) ->
     };
 
     let take = |i: usize,
-                    order: &mut Vec<usize>,
-                    remaining: &mut Vec<usize>,
-                    bound: &mut BTreeSet<Symbol>| {
+                order: &mut Vec<usize>,
+                remaining: &mut Vec<usize>,
+                bound: &mut BTreeSet<Symbol>| {
         let pos = remaining
             .iter()
             .position(|&x| x == i)

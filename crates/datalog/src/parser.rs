@@ -51,7 +51,7 @@ enum Tok {
     RParen,
     Comma,
     Dot,
-    Implies, // :-
+    Implies,   // :-
     QueryMark, // ?-
 }
 
@@ -221,9 +221,7 @@ impl<'a> Lexer<'a> {
                     }
                     Tok::Ident(s)
                 }
-                other => {
-                    return Err(self.err(format!("unexpected character `{}`", other as char)))
-                }
+                other => return Err(self.err(format!("unexpected character `{}`", other as char))),
             };
             out.push(Spanned { tok, line, col });
         }

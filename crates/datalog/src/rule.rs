@@ -181,11 +181,7 @@ impl LinearRecursion {
             .collect();
         // Rules for other (non-recursive) predicates are outside the paper's
         // single-recursion setting; reject them so analyses stay honest.
-        if program
-            .rules
-            .iter()
-            .any(|r| r.head.predicate != p)
-        {
+        if program.rules.iter().any(|r| r.head.predicate != p) {
             return None;
         }
         Some(LinearRecursion {

@@ -7,9 +7,9 @@
 //! here never needs an occurs check, but the implementation below is a full
 //! syntactic unifier so it also serves queries with constants.
 
+use crate::rule::Rule;
 use crate::symbol::Symbol;
 use crate::term::{Atom, Term};
-use crate::rule::Rule;
 use std::collections::BTreeMap;
 
 /// A simultaneous substitution from variables to terms.
@@ -157,10 +157,7 @@ mod tests {
         let s = unify_atoms(&a, &b).unwrap();
         assert_eq!(s.resolve(Term::var("x")), Term::constant("c"));
         // y and z unify to the same representative.
-        assert_eq!(
-            s.resolve(Term::var("y")),
-            s.resolve(Term::var("z"))
-        );
+        assert_eq!(s.resolve(Term::var("y")), s.resolve(Term::var("z")));
     }
 
     #[test]

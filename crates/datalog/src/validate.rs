@@ -126,15 +126,16 @@ pub fn validate_with_generic_exit(program: &Program) -> Result<LinearRecursion, 
 pub fn generic_exit_rule(recursive_rule: &crate::rule::Rule) -> crate::rule::Rule {
     use crate::symbol::Symbol;
     use crate::term::Atom;
-    let taken: std::collections::BTreeSet<Symbol> = recursive_rule
-        .body
-        .iter()
-        .map(|a| a.predicate)
-        .collect();
-    let e = [Symbol::intern("E"), Symbol::intern("Exit"), Symbol::intern("ExitRel")]
-        .into_iter()
-        .find(|s| !taken.contains(s))
-        .expect("one of the candidate exit names must be free");
+    let taken: std::collections::BTreeSet<Symbol> =
+        recursive_rule.body.iter().map(|a| a.predicate).collect();
+    let e = [
+        Symbol::intern("E"),
+        Symbol::intern("Exit"),
+        Symbol::intern("ExitRel"),
+    ]
+    .into_iter()
+    .find(|s| !taken.contains(s))
+    .expect("one of the candidate exit names must be free");
     crate::rule::Rule::new(
         recursive_rule.head.clone(),
         vec![Atom::new(e, recursive_rule.head.terms.clone())],
@@ -167,9 +168,7 @@ mod tests {
 
     #[test]
     fn rejects_multiple_recursive_rules() {
-        let e = check(
-            "P(x,y) :- A(x,z), P(z,y).\nP(x,y) :- B(x,z), P(z,y).\nP(x,y) :- E(x,y).",
-        );
+        let e = check("P(x,y) :- A(x,z), P(z,y).\nP(x,y) :- B(x,z), P(z,y).\nP(x,y) :- E(x,y).");
         assert_eq!(e, Err(ValidationError::MultipleRecursiveRules(2)));
     }
 

@@ -1,0 +1,516 @@
+//! `recurs-engine` — an indexed, optionally parallel semi-naive execution
+//! engine with class-aware kernels.
+//!
+//! The oracle evaluator in `recurs_datalog::eval` is written for clarity: it
+//! re-plans the join order, re-normalizes atoms, and rebuilds hash indexes
+//! on every fixpoint iteration. This crate keeps the same semantics (it is
+//! differentially tested against the oracle) but moves all of that work out
+//! of the loop:
+//!
+//! * **Storage** ([`storage`]): [`storage::IndexedRelation`] keeps
+//!   *persistent* hash indexes on the columns rules join on. Each index is
+//!   built once and maintained incrementally as deltas merge, so iteration
+//!   cost tracks the delta, not the accumulated relation.
+//! * **Compilation** ([`compile`]): each rule (differentiated per delta
+//!   position) becomes a fixed [`compile::CompiledRule`] pipeline — seed
+//!   selection/projection, then hash-probe join steps with constants folded
+//!   into the index keys.
+//! * **Parallelism**: in [`EngineMode::Parallel`] the delta is sharded by
+//!   the hash of each row's first join key onto `std::thread::scope`
+//!   workers; per-worker result buffers are merged and deduped against the
+//!   total relation on the main thread, so shared storage stays read-only
+//!   while workers run.
+//! * **Kernels** ([`kernel`]): the dispatcher inspects the formula's
+//!   [`Classification`] — one-directional classes (A1/A3/A5) run the
+//!   frontier kernel, formulas with a proven rank bound (A2/A4/B/D) run
+//!   bounded unrolling that stops at the rank *without fixpoint detection*,
+//!   and everything else (C/E/F) takes the generic semi-naive fallback.
+//!
+//! [`EngineStats`] reports per-iteration timings, delta sizes, index hit
+//! counts, and worker utilization.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod compile;
+pub mod kernel;
+pub mod stats;
+pub mod storage;
+
+pub use kernel::select_kernel;
+pub use stats::{EngineStats, IterationStats, KernelKind};
+pub use storage::{EngineDb, IndexedRelation};
+
+use compile::{CompiledRule, ProbeCounters, Row};
+use recurs_datalog::database::Database;
+use recurs_datalog::error::DatalogError;
+use recurs_datalog::relation::Tuple;
+use recurs_datalog::rule::{LinearRecursion, Program};
+use recurs_datalog::symbol::Symbol;
+use std::collections::{BTreeMap, BTreeSet};
+use std::hash::{Hash, Hasher};
+use std::time::Instant;
+
+/// How the engine executes each iteration's joins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// Single-threaded execution over persistent indexes.
+    Indexed,
+    /// Delta-sharded execution on scoped worker threads.
+    Parallel {
+        /// Number of worker threads (at least 1).
+        threads: usize,
+    },
+}
+
+impl EngineMode {
+    fn threads(self) -> usize {
+        match self {
+            EngineMode::Indexed => 1,
+            EngineMode::Parallel { threads } => threads.max(1),
+        }
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Execution mode.
+    pub mode: EngineMode,
+    /// Iteration cap (counting the seeding round); `None` runs to fixpoint.
+    /// A capped stop with work remaining sets [`EngineStats::truncated`].
+    pub max_iterations: Option<usize>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            mode: EngineMode::Indexed,
+            max_iterations: None,
+        }
+    }
+}
+
+/// Saturates `db` with the program's consequences using the kernel selected
+/// from the recursion's classification. IDB relations are written back into
+/// `db` (EDB relations are untouched).
+pub fn run_linear(
+    db: &mut Database,
+    lr: &LinearRecursion,
+    config: &EngineConfig,
+) -> Result<EngineStats, DatalogError> {
+    let classification = recurs_core::Classification::of(&lr.recursive_rule);
+    let kernel = select_kernel(&classification);
+    run_with_kernel(db, &lr.to_program(), kernel, config)
+}
+
+/// Saturates `db` with an arbitrary program using the generic semi-naive
+/// kernel (no classification needed; handles multi-rule, multi-predicate
+/// programs and mutual recursion).
+pub fn run_program(
+    db: &mut Database,
+    program: &Program,
+    config: &EngineConfig,
+) -> Result<EngineStats, DatalogError> {
+    run_with_kernel(db, program, KernelKind::Generic, config)
+}
+
+/// Saturates `db` with a specific kernel. [`run_linear`] selects the kernel
+/// automatically; this entry point exists for tests and experiments.
+pub fn run_with_kernel(
+    db: &mut Database,
+    program: &Program,
+    kernel: KernelKind,
+    config: &EngineConfig,
+) -> Result<EngineStats, DatalogError> {
+    // Declare IDB relations up front (arity checks, like the oracle does).
+    for rule in &program.rules {
+        db.declare(rule.head.predicate, rule.head.arity())?;
+    }
+    let idb: BTreeSet<Symbol> = program.idb_predicates();
+
+    // Copy the database into indexed storage. Body predicates must exist.
+    let mut storage = EngineDb::new();
+    for rule in &program.rules {
+        for atom in std::iter::once(&rule.head).chain(rule.body.iter()) {
+            if storage.get(atom.predicate).is_none() {
+                storage.load(atom.predicate, db.require(atom.predicate)?);
+            }
+        }
+    }
+
+    // Compile: non-recursive rules seed iteration 0; rules with IDB body
+    // atoms get one differentiated variant per IDB occurrence.
+    let mut init: Vec<CompiledRule> = Vec::new();
+    let mut variants: Vec<CompiledRule> = Vec::new();
+    for rule in &program.rules {
+        let idb_positions: Vec<usize> = rule
+            .body
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| idb.contains(&a.predicate))
+            .map(|(i, _)| i)
+            .collect();
+        if idb_positions.is_empty() {
+            init.push(CompiledRule::compile(rule, None, db)?);
+        } else {
+            for pos in idb_positions {
+                variants.push(CompiledRule::compile(rule, Some(pos), db)?);
+            }
+        }
+    }
+
+    // Build every index the pipelines will probe, once, before the loop.
+    for cr in init.iter().chain(variants.iter()) {
+        for (pred, cols) in cr.required_indexes() {
+            let cols = cols.to_vec();
+            storage
+                .get_mut(pred)
+                .expect("all referenced relations were loaded")
+                .ensure_index(&cols);
+        }
+    }
+
+    let threads = config.mode.threads();
+    let mut stats = EngineStats {
+        kernel: Some(kernel),
+        threads,
+        ..EngineStats::default()
+    };
+    let mut counters = ProbeCounters::default();
+
+    // Iteration 0: non-recursive rules against the EDB (single-threaded —
+    // seeding is a one-off, the loop below is the hot path).
+    let t0 = Instant::now();
+    let mut candidates: Vec<(Symbol, Vec<Tuple>)> = Vec::new();
+    for cr in &init {
+        let rows = seed_rows_full(cr, &storage);
+        let mut buf = Vec::new();
+        cr.execute(&storage, rows, &mut counters, &mut buf);
+        candidates.push((cr.head_pred, buf));
+    }
+    let derived0: usize = candidates.iter().map(|(_, ts)| ts.len()).sum();
+    let mut ignored = BTreeMap::new();
+    let new0 = merge_candidates(&mut storage, candidates, &mut ignored);
+    stats.tuples_derived += new0;
+    let d0 = t0.elapsed();
+    stats.iterations.push(IterationStats {
+        delta_in: 0,
+        derived: derived0,
+        new_tuples: new0,
+        duration: d0,
+        busy: d0,
+        workers: 1,
+    });
+
+    // The first recursive delta is everything present after iteration 0,
+    // including tuples pre-seeded into IDB relations by the caller (e.g.
+    // magic seeds) — recursive rules must see those too.
+    let mut delta: BTreeMap<Symbol, Vec<Tuple>> = BTreeMap::new();
+    for &pred in &idb {
+        let rel = storage.get(pred).expect("IDB relations are loaded");
+        if !rel.is_empty() {
+            delta.insert(pred, rel.iter().cloned().collect());
+        }
+    }
+
+    let rank_cap = match kernel {
+        KernelKind::BoundedUnroll { rank } => Some(rank),
+        _ => None,
+    };
+    let mut recursive_rounds: u64 = 0;
+    loop {
+        if delta.values().all(Vec::is_empty) {
+            break; // genuine fixpoint
+        }
+        if let Some(rank) = rank_cap {
+            if recursive_rounds >= rank {
+                // Bounded unrolling: the proven rank is reached; the
+                // theorems guarantee nothing new past this point, so stop
+                // without a fixpoint-detection round (not a truncation).
+                break;
+            }
+        }
+        if let Some(cap) = config.max_iterations {
+            if stats.iterations.len() >= cap {
+                stats.truncated = true;
+                break;
+            }
+        }
+        recursive_rounds += 1;
+        let t = Instant::now();
+        let delta_in: usize = delta.values().map(Vec::len).sum();
+
+        // Per-variant seed rows from the current delta.
+        let work: Vec<(usize, Vec<Row>)> = variants
+            .iter()
+            .enumerate()
+            .filter_map(|(i, cr)| {
+                let seed = cr.seed.as_ref()?;
+                let tuples = delta.get(&seed.pred)?;
+                if tuples.is_empty() {
+                    return None;
+                }
+                let rows = seed.rows(tuples.iter());
+                (!rows.is_empty()).then_some((i, rows))
+            })
+            .collect();
+
+        // Single-threaded busy time equals the iteration's wall time by
+        // definition; parallel workers report their own busy durations.
+        let (candidates, busy) = match config.mode {
+            EngineMode::Indexed => {
+                let mut out = Vec::new();
+                for (i, rows) in work {
+                    let mut buf = Vec::new();
+                    variants[i].execute(&storage, rows, &mut counters, &mut buf);
+                    out.push((variants[i].head_pred, buf));
+                }
+                (out, None)
+            }
+            EngineMode::Parallel { .. } => {
+                let (out, busy) = run_sharded(&variants, work, &storage, threads, &mut counters);
+                (out, Some(busy))
+            }
+        };
+
+        let derived: usize = candidates.iter().map(|(_, ts)| ts.len()).sum();
+        let mut next_delta: BTreeMap<Symbol, Vec<Tuple>> = BTreeMap::new();
+        let new = merge_candidates(&mut storage, candidates, &mut next_delta);
+        stats.tuples_derived += new;
+        let duration = t.elapsed();
+        stats.iterations.push(IterationStats {
+            delta_in,
+            derived,
+            new_tuples: new,
+            duration,
+            busy: busy.unwrap_or(duration),
+            workers: threads,
+        });
+        delta = next_delta;
+    }
+
+    // Write the saturated IDB relations back.
+    for &pred in &idb {
+        let rel = storage.get(pred).expect("IDB relations are loaded");
+        db.insert_relation(pred, rel.to_relation());
+    }
+    stats.index = storage.index_counters();
+    stats.probes = counters.probes;
+    stats.probe_hits = counters.hits;
+    Ok(stats)
+}
+
+/// Seed rows for a non-differentiated rule: the full stored relation of the
+/// seed atom (or the unit row for an empty body).
+fn seed_rows_full(cr: &CompiledRule, storage: &EngineDb) -> Vec<Row> {
+    match &cr.seed {
+        None => vec![Vec::new()],
+        Some(seed) => {
+            let rel = storage
+                .get(seed.pred)
+                .expect("all referenced relations were loaded");
+            seed.rows(rel.iter())
+        }
+    }
+}
+
+/// Inserts candidate tuples, returning the number genuinely new; new tuples
+/// are also appended to `next_delta` keyed by predicate.
+fn merge_candidates(
+    storage: &mut EngineDb,
+    candidates: Vec<(Symbol, Vec<Tuple>)>,
+    next_delta: &mut BTreeMap<Symbol, Vec<Tuple>>,
+) -> usize {
+    let mut new = 0usize;
+    for (pred, tuples) in candidates {
+        let rel = storage.get_mut(pred).expect("IDB relations are loaded");
+        for t in tuples {
+            if rel.insert(t.clone()) {
+                new += 1;
+                next_delta.entry(pred).or_default().push(t);
+            }
+        }
+    }
+    new
+}
+
+/// Executes the iteration's work items on `threads` scoped workers. Seed
+/// rows are sharded by the hash of their first join key (falling back to
+/// the whole row), shared storage is read-only, and each worker returns its
+/// own result buffer and probe counters for the main thread to merge.
+fn run_sharded(
+    variants: &[CompiledRule],
+    work: Vec<(usize, Vec<Row>)>,
+    storage: &EngineDb,
+    threads: usize,
+    counters: &mut ProbeCounters,
+) -> (Vec<(Symbol, Vec<Tuple>)>, std::time::Duration) {
+    // shards[w] holds this worker's rows for each work item.
+    let mut shards: Vec<Vec<(usize, Vec<Row>)>> = (0..threads)
+        .map(|_| Vec::with_capacity(work.len()))
+        .collect();
+    for (variant_i, rows) in work {
+        let shard_cols = variants[variant_i].shard_cols();
+        let mut buckets: Vec<Vec<Row>> = (0..threads).map(|_| Vec::new()).collect();
+        for row in rows {
+            let w = shard_of(&row, shard_cols, threads);
+            buckets[w].push(row);
+        }
+        for (w, bucket) in buckets.into_iter().enumerate() {
+            shards[w].push((variant_i, bucket));
+        }
+    }
+
+    let mut out: Vec<(Symbol, Vec<Tuple>)> = Vec::new();
+    let mut busy = std::time::Duration::ZERO;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .map(|items| {
+                s.spawn(move || {
+                    let t = Instant::now();
+                    let mut local = ProbeCounters::default();
+                    let mut results: Vec<(Symbol, Vec<Tuple>)> = Vec::new();
+                    for (variant_i, rows) in items {
+                        if rows.is_empty() {
+                            continue;
+                        }
+                        let cr = &variants[variant_i];
+                        let mut buf = Vec::new();
+                        cr.execute(storage, rows, &mut local, &mut buf);
+                        results.push((cr.head_pred, buf));
+                    }
+                    (results, local, t.elapsed())
+                })
+            })
+            .collect();
+        for h in handles {
+            let (results, local, elapsed) = h.join().expect("engine worker panicked");
+            out.extend(results);
+            counters.absorb(local);
+            busy += elapsed;
+        }
+    });
+    (out, busy)
+}
+
+/// Deterministic shard assignment for a seed row.
+fn shard_of(row: &Row, shard_cols: &[usize], threads: usize) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    if shard_cols.is_empty() {
+        row.hash(&mut h);
+    } else {
+        for &c in shard_cols {
+            row[c].hash(&mut h);
+        }
+    }
+    (h.finish() % threads as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recurs_datalog::eval::semi_naive;
+    use recurs_datalog::parser::parse_program;
+    use recurs_datalog::relation::Relation;
+    use recurs_datalog::validate::validate_with_generic_exit;
+
+    fn tc_db(n: u64) -> Database {
+        let mut db = Database::new();
+        db.insert_relation("A", Relation::from_pairs((1..n).map(|i| (i, i + 1))));
+        db.insert_relation("E", Relation::from_pairs((1..n).map(|i| (i, i + 1))));
+        db
+    }
+
+    fn tc_program() -> Program {
+        parse_program("P(x, y) :- E(x, y).\nP(x, y) :- A(x, z), P(z, y).").unwrap()
+    }
+
+    #[test]
+    fn generic_engine_matches_oracle_on_chain() {
+        let mut db1 = tc_db(9);
+        let mut db2 = tc_db(9);
+        semi_naive(&mut db1, &tc_program(), None).unwrap();
+        let stats = run_program(&mut db2, &tc_program(), &EngineConfig::default()).unwrap();
+        assert_eq!(db1.get("P").unwrap(), db2.get("P").unwrap());
+        assert_eq!(stats.tuples_derived, db2.get("P").unwrap().len());
+        assert!(stats.probes > 0);
+        assert!(stats.index.builds > 0);
+    }
+
+    #[test]
+    fn parallel_engine_matches_oracle_on_cycle() {
+        let mut db1 = Database::new();
+        db1.insert_relation("A", Relation::from_pairs([(1, 2), (2, 3), (3, 1)]));
+        db1.insert_relation("E", Relation::from_pairs([(1, 2), (2, 3), (3, 1)]));
+        let mut db2 = db1.clone();
+        semi_naive(&mut db1, &tc_program(), None).unwrap();
+        let cfg = EngineConfig {
+            mode: EngineMode::Parallel { threads: 4 },
+            max_iterations: None,
+        };
+        run_program(&mut db2, &tc_program(), &cfg).unwrap();
+        assert_eq!(db1.get("P").unwrap(), db2.get("P").unwrap());
+        assert_eq!(db2.get("P").unwrap().len(), 9);
+    }
+
+    #[test]
+    fn class_kernel_path_matches_oracle() {
+        let lr = validate_with_generic_exit(&tc_program()).unwrap();
+        let mut db1 = tc_db(7);
+        let mut db2 = tc_db(7);
+        semi_naive(&mut db1, &lr.to_program(), None).unwrap();
+        let stats = run_linear(&mut db2, &lr, &EngineConfig::default()).unwrap();
+        // TC is class A5 (one-directional): frontier kernel.
+        assert_eq!(stats.kernel, Some(KernelKind::Frontier));
+        assert_eq!(db1.get("P").unwrap(), db2.get("P").unwrap());
+    }
+
+    #[test]
+    fn truncation_respects_iteration_cap() {
+        let mut db = tc_db(40);
+        let cfg = EngineConfig {
+            mode: EngineMode::Indexed,
+            max_iterations: Some(3),
+        };
+        let stats = run_program(&mut db, &tc_program(), &cfg).unwrap();
+        assert!(stats.truncated);
+        assert_eq!(stats.iteration_count(), 3);
+        assert!(db.get("P").unwrap().len() < 39 * 40 / 2);
+    }
+
+    #[test]
+    fn preseeded_idb_tuples_reach_recursive_rules() {
+        // Matches the oracle's magic-seed semantics: tuples already in P
+        // participate in the first recursive round.
+        let mut db1 = Database::new();
+        db1.insert_relation("A", Relation::from_pairs([(1, 2), (2, 3)]));
+        db1.insert_relation("E", Relation::new(2));
+        db1.insert_relation("P", Relation::from_pairs([(3, 9)]));
+        let mut db2 = db1.clone();
+        semi_naive(&mut db1, &tc_program(), None).unwrap();
+        run_program(&mut db2, &tc_program(), &EngineConfig::default()).unwrap();
+        assert_eq!(db1.get("P").unwrap(), db2.get("P").unwrap());
+        assert_eq!(db2.get("P").unwrap().len(), 3); // (3,9) (2,9) (1,9)
+    }
+
+    #[test]
+    fn missing_edb_relation_is_an_error() {
+        let mut db = Database::new();
+        let program = parse_program("Q(x) :- Missing(x, x).").unwrap();
+        assert!(run_program(&mut db, &program, &EngineConfig::default()).is_err());
+    }
+
+    #[test]
+    fn stats_record_per_iteration_deltas() {
+        let mut db = tc_db(5);
+        let stats = run_program(&mut db, &tc_program(), &EngineConfig::default()).unwrap();
+        // Chain of 4 edges: the seed round derives 4 tuples, the recursive
+        // rounds 3, 2, 1, and a final round finds nothing new.
+        let deltas: Vec<usize> = stats.iterations.iter().map(|i| i.new_tuples).collect();
+        assert_eq!(deltas, vec![4, 3, 2, 1, 0]);
+        assert!(stats.iterations.iter().all(|i| i.workers == 1));
+        assert!(stats.worker_utilization() > 0.9);
+    }
+}

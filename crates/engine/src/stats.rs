@@ -1,0 +1,176 @@
+//! Execution statistics: what the engine did, per iteration and in total.
+
+use crate::storage::IndexCounters;
+use std::fmt;
+use std::time::Duration;
+
+/// Which class-aware kernel the dispatcher selected (see [`crate::kernel`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Frontier BFS for one-directional formulas (classes A1/A3/A5 and the
+    /// stable A2 cases that still need fixpoint detection): semi-naive with
+    /// the delta as the expanding frontier, run until the frontier dries up.
+    Frontier,
+    /// Bounded unrolling for formulas with a *proven* rank bound (pure
+    /// permutational A2/A4, bounded B, acyclic D): apply the recursive rule
+    /// exactly `rank` times and stop — no trailing empty iteration to detect
+    /// the fixpoint.
+    BoundedUnroll {
+        /// The proven rank bound (number of recursive applications).
+        rank: u64,
+    },
+    /// Generic semi-naive fallback for everything else (classes C/E/F and
+    /// arbitrary multi-rule programs).
+    Generic,
+}
+
+impl KernelKind {
+    /// Short label for reports, e.g. `"frontier"`, `"unroll(3)"`.
+    pub fn label(&self) -> String {
+        match self {
+            KernelKind::Frontier => "frontier".to_string(),
+            KernelKind::BoundedUnroll { rank } => format!("unroll({rank})"),
+            KernelKind::Generic => "generic".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// One fixpoint iteration as the engine saw it.
+#[derive(Debug, Clone, Default)]
+pub struct IterationStats {
+    /// Tuples in the incoming delta (0 for the seeding iteration).
+    pub delta_in: usize,
+    /// Head tuples produced by rule evaluation (before deduplication).
+    pub derived: usize,
+    /// Tuples that were genuinely new (the outgoing delta).
+    pub new_tuples: usize,
+    /// Wall-clock time of the iteration.
+    pub duration: Duration,
+    /// Summed busy time of the workers that ran this iteration (equals
+    /// `duration` in single-threaded mode, up to `workers × duration` when
+    /// parallel).
+    pub busy: Duration,
+    /// Worker threads used.
+    pub workers: usize,
+}
+
+/// Statistics of an engine run.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// The kernel the dispatcher selected.
+    pub kernel: Option<KernelKind>,
+    /// Worker threads the configuration asked for.
+    pub threads: usize,
+    /// Per-iteration detail, in order (iteration 0 is the non-recursive
+    /// seeding round).
+    pub iterations: Vec<IterationStats>,
+    /// Total new tuples added to IDB relations.
+    pub tuples_derived: usize,
+    /// Index builds/updates performed by the storage layer.
+    pub index: IndexCounters,
+    /// Hash-index probes issued by join steps.
+    pub probes: u64,
+    /// Tuples returned by those probes (the "hits").
+    pub probe_hits: u64,
+    /// True if the run stopped at the caller's iteration cap rather than at
+    /// a fixpoint (a bounded-unroll stop at the proven rank is *not*
+    /// truncation — the theorems guarantee completeness there).
+    pub truncated: bool,
+}
+
+impl EngineStats {
+    /// Number of iterations run (including the seeding round).
+    pub fn iteration_count(&self) -> usize {
+        self.iterations.len()
+    }
+
+    /// Total wall-clock time across iterations.
+    pub fn total_duration(&self) -> Duration {
+        self.iterations.iter().map(|i| i.duration).sum()
+    }
+
+    /// Fraction of available worker time spent busy, in `0.0..=1.0`.
+    /// With one worker this is 1.0 by construction; with more it measures
+    /// how evenly the delta sharding spread the work.
+    pub fn worker_utilization(&self) -> f64 {
+        let mut available = Duration::ZERO;
+        let mut busy = Duration::ZERO;
+        for it in &self.iterations {
+            available += it.duration * u32::try_from(it.workers.max(1)).unwrap_or(1);
+            busy += it.busy;
+        }
+        if available.is_zero() {
+            return 1.0;
+        }
+        (busy.as_secs_f64() / available.as_secs_f64()).min(1.0)
+    }
+
+    /// One-line summary for CLI output.
+    pub fn summary(&self) -> String {
+        format!(
+            "kernel={} iterations={} derived={} probes={} hits={} index_builds={} index_updates={} utilization={:.0}%",
+            self.kernel.map_or_else(|| "?".to_string(), |k| k.label()),
+            self.iteration_count(),
+            self.tuples_derived,
+            self.probes,
+            self.probe_hits,
+            self.index.builds,
+            self.index.updates,
+            self.worker_utilization() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_labels() {
+        assert_eq!(KernelKind::Frontier.label(), "frontier");
+        assert_eq!(KernelKind::BoundedUnroll { rank: 3 }.label(), "unroll(3)");
+        assert_eq!(KernelKind::Generic.to_string(), "generic");
+    }
+
+    #[test]
+    fn utilization_is_one_for_single_worker() {
+        let mut s = EngineStats::default();
+        s.iterations.push(IterationStats {
+            duration: Duration::from_millis(10),
+            busy: Duration::from_millis(10),
+            workers: 1,
+            ..IterationStats::default()
+        });
+        assert!((s.worker_utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_reflects_idle_workers() {
+        let mut s = EngineStats::default();
+        s.iterations.push(IterationStats {
+            duration: Duration::from_millis(10),
+            busy: Duration::from_millis(10), // one of two workers idle
+            workers: 2,
+            ..IterationStats::default()
+        });
+        assert!((s.worker_utilization() - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn summary_mentions_kernel_and_counts() {
+        let s = EngineStats {
+            kernel: Some(KernelKind::Frontier),
+            tuples_derived: 42,
+            ..EngineStats::default()
+        };
+        let line = s.summary();
+        assert!(line.contains("kernel=frontier"));
+        assert!(line.contains("derived=42"));
+    }
+}

@@ -1,0 +1,295 @@
+//! Indexed tuple storage for the execution engine.
+//!
+//! The oracle evaluator (`recurs_datalog::eval`) rebuilds a hash index on the
+//! inner side of every join, every fixpoint iteration. [`IndexedRelation`]
+//! instead keeps *persistent* indexes: each is built once when a compiled
+//! rule first asks for it, and afterwards maintained incrementally as derived
+//! tuples are inserted. Across a long fixpoint this turns the per-iteration
+//! cost of indexing from O(|relation|) into O(|delta|).
+
+use recurs_datalog::relation::{Relation, Tuple};
+use recurs_datalog::symbol::Symbol;
+use recurs_datalog::term::Value;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// A hash index: key columns → (key values → ids of matching tuples).
+type Index = HashMap<Box<[Value]>, Vec<u32>>;
+
+/// Counters describing index maintenance work, for [`crate::EngineStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexCounters {
+    /// Full index constructions (one per distinct key-column set).
+    pub builds: u64,
+    /// Incremental key insertions performed while merging deltas.
+    pub updates: u64,
+}
+
+impl IndexCounters {
+    fn absorb(&mut self, other: IndexCounters) {
+        self.builds += other.builds;
+        self.updates += other.updates;
+    }
+}
+
+/// A relation stored as an append-only tuple arena plus persistent hash
+/// indexes on the column sets the compiled rules join on.
+///
+/// Tuple ids are dense `u32`s in insertion order; indexes store ids, not
+/// tuple copies, so a tuple is owned exactly once however many indexes
+/// cover it.
+#[derive(Debug, Clone, Default)]
+pub struct IndexedRelation {
+    arity: usize,
+    tuples: Vec<Tuple>,
+    seen: HashSet<Tuple>,
+    indexes: HashMap<Vec<usize>, Index>,
+    counters: IndexCounters,
+}
+
+impl IndexedRelation {
+    /// An empty relation of the given arity.
+    pub fn new(arity: usize) -> IndexedRelation {
+        IndexedRelation {
+            arity,
+            ..IndexedRelation::default()
+        }
+    }
+
+    /// Copies a plain [`Relation`] into indexed storage.
+    pub fn from_relation(rel: &Relation) -> IndexedRelation {
+        let mut r = IndexedRelation::new(rel.arity());
+        for t in rel.iter() {
+            r.insert(t.clone());
+        }
+        r
+    }
+
+    /// The arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if no tuple is stored.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &[Value]) -> bool {
+        self.seen.contains(t)
+    }
+
+    /// Inserts a tuple, updating every existing index. Returns true if the
+    /// tuple was new.
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        assert_eq!(
+            t.len(),
+            self.arity,
+            "tuple width {} does not match relation arity {}",
+            t.len(),
+            self.arity
+        );
+        if !self.seen.insert(t.clone()) {
+            return false;
+        }
+        let id = u32::try_from(self.tuples.len()).expect("tuple id overflow");
+        for (cols, index) in &mut self.indexes {
+            let key: Box<[Value]> = cols.iter().map(|&c| t[c]).collect();
+            index.entry(key).or_default().push(id);
+            self.counters.updates += 1;
+        }
+        self.tuples.push(t);
+        true
+    }
+
+    /// Makes sure an index on `cols` exists, building it from the current
+    /// tuples if not. Idempotent; subsequent inserts keep it fresh.
+    pub fn ensure_index(&mut self, cols: &[usize]) {
+        if self.indexes.contains_key(cols) {
+            return;
+        }
+        let mut index: Index = HashMap::new();
+        for (id, t) in self.tuples.iter().enumerate() {
+            let key: Box<[Value]> = cols.iter().map(|&c| t[c]).collect();
+            index.entry(key).or_default().push(id as u32);
+        }
+        self.indexes.insert(cols.to_vec(), index);
+        self.counters.builds += 1;
+    }
+
+    /// The ids of tuples whose `cols` projection equals `key`. Requires
+    /// [`ensure_index`](IndexedRelation::ensure_index) to have been called
+    /// for `cols` (compiled rules declare their indexes up front).
+    pub fn probe(&self, cols: &[usize], key: &[Value]) -> &[u32] {
+        let index = self
+            .indexes
+            .get(cols)
+            .expect("probe of an index that was never ensured");
+        index.get(key).map_or(&[], Vec::as_slice)
+    }
+
+    /// The tuple with the given id.
+    pub fn tuple(&self, id: u32) -> &Tuple {
+        &self.tuples[id as usize]
+    }
+
+    /// Iterates over all tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Copies the storage back into a plain [`Relation`].
+    pub fn to_relation(&self) -> Relation {
+        Relation::from_tuples(self.arity, self.tuples.iter().cloned())
+    }
+
+    /// Index-maintenance counters so far.
+    pub fn counters(&self) -> IndexCounters {
+        self.counters
+    }
+
+    /// Number of distinct indexes currently maintained.
+    pub fn index_count(&self) -> usize {
+        self.indexes.len()
+    }
+}
+
+/// The engine's working database: predicate → indexed relation.
+///
+/// Built once from a [`recurs_datalog::database::Database`] snapshot; the
+/// fixpoint driver reads EDB relations and reads/extends IDB relations
+/// through it, then writes the IDB results back.
+#[derive(Debug, Clone, Default)]
+pub struct EngineDb {
+    rels: BTreeMap<Symbol, IndexedRelation>,
+}
+
+impl EngineDb {
+    /// An empty store.
+    pub fn new() -> EngineDb {
+        EngineDb::default()
+    }
+
+    /// Registers `pred` as an empty relation of the given arity if absent.
+    pub fn declare(&mut self, pred: Symbol, arity: usize) {
+        self.rels
+            .entry(pred)
+            .or_insert_with(|| IndexedRelation::new(arity));
+    }
+
+    /// Copies a relation into the store (replacing any existing one).
+    pub fn load(&mut self, pred: Symbol, rel: &Relation) {
+        self.rels.insert(pred, IndexedRelation::from_relation(rel));
+    }
+
+    /// Looks up a relation.
+    pub fn get(&self, pred: Symbol) -> Option<&IndexedRelation> {
+        self.rels.get(&pred)
+    }
+
+    /// Looks up a relation mutably.
+    pub fn get_mut(&mut self, pred: Symbol) -> Option<&mut IndexedRelation> {
+        self.rels.get_mut(&pred)
+    }
+
+    /// Sums the index counters of every relation.
+    pub fn index_counters(&self) -> IndexCounters {
+        let mut total = IndexCounters::default();
+        for rel in self.rels.values() {
+            total.absorb(rel.counters());
+        }
+        total
+    }
+
+    /// Total number of persistent indexes across all relations.
+    pub fn index_count(&self) -> usize {
+        self.rels.values().map(IndexedRelation::index_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recurs_datalog::relation::tuple_u64;
+
+    fn v(n: u64) -> Value {
+        Value::from_u64(n)
+    }
+
+    #[test]
+    fn insert_dedupes_and_counts() {
+        let mut r = IndexedRelation::new(2);
+        assert!(r.insert(tuple_u64([1, 2])));
+        assert!(!r.insert(tuple_u64([1, 2])));
+        assert!(r.insert(tuple_u64([2, 3])));
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&[v(1), v(2)]));
+        assert!(!r.contains(&[v(9), v(9)]));
+    }
+
+    #[test]
+    fn ensure_index_then_probe() {
+        let mut r = IndexedRelation::from_relation(&Relation::from_pairs([(1, 2), (1, 3), (2, 3)]));
+        r.ensure_index(&[0]);
+        assert_eq!(r.probe(&[0], &[v(1)]).len(), 2);
+        assert_eq!(r.probe(&[0], &[v(2)]).len(), 1);
+        assert_eq!(r.probe(&[0], &[v(7)]).len(), 0);
+        assert_eq!(r.counters().builds, 1);
+    }
+
+    #[test]
+    fn index_is_maintained_incrementally() {
+        let mut r = IndexedRelation::new(2);
+        r.ensure_index(&[1]);
+        r.insert(tuple_u64([1, 2]));
+        r.insert(tuple_u64([3, 2]));
+        assert_eq!(r.probe(&[1], &[v(2)]).len(), 2);
+        // Two inserts, one index each: two incremental updates, no rebuild.
+        assert_eq!(
+            r.counters(),
+            IndexCounters {
+                builds: 1,
+                updates: 2
+            }
+        );
+        // Re-ensuring is a no-op.
+        r.ensure_index(&[1]);
+        assert_eq!(r.counters().builds, 1);
+    }
+
+    #[test]
+    fn multi_column_index_keys() {
+        let mut r = IndexedRelation::new(3);
+        r.insert(tuple_u64([1, 2, 3]));
+        r.insert(tuple_u64([1, 2, 4]));
+        r.insert(tuple_u64([1, 5, 3]));
+        r.ensure_index(&[0, 1]);
+        assert_eq!(r.probe(&[0, 1], &[v(1), v(2)]).len(), 2);
+        let id = r.probe(&[0, 1], &[v(1), v(5)])[0];
+        assert_eq!(&r.tuple(id)[..], &[v(1), v(5), v(3)]);
+    }
+
+    #[test]
+    fn round_trips_through_relation() {
+        let rel = Relation::from_pairs([(1, 2), (2, 3), (3, 4)]);
+        let r = IndexedRelation::from_relation(&rel);
+        assert_eq!(r.to_relation(), rel);
+    }
+
+    #[test]
+    fn engine_db_declares_and_sums_counters() {
+        let mut db = EngineDb::new();
+        let a = Symbol::intern("A");
+        db.load(a, &Relation::from_pairs([(1, 2)]));
+        db.declare(a, 2); // no-op: already present
+        db.get_mut(a).unwrap().ensure_index(&[0]);
+        assert_eq!(db.index_counters().builds, 1);
+        assert_eq!(db.index_count(), 1);
+        assert_eq!(db.get(a).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,77 @@
+//! Differential property tests: on randomly generated linear recursions and
+//! databases, every engine mode must compute exactly the oracle's fixpoint
+//! (`recurs_datalog::eval::semi_naive`).
+//!
+//! The random rules span the paper's whole classification — one-directional
+//! A1–A5, bounded B, unbounded C — so this exercises all three kernels
+//! (frontier, bounded unroll, generic) against the same reference.
+
+use proptest::prelude::*;
+use recurs_datalog::eval::semi_naive;
+use recurs_engine::{run_linear, EngineConfig, EngineMode};
+use recurs_workload::{random_database, random_linear_recursion, RuleConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engine_matches_oracle_on_random_workloads(
+        rule_seed in 0u64..10_000,
+        db_seed in 0u64..10_000,
+        tuples in 1usize..40,
+        domain in 2u64..8,
+        threads in 2usize..=4,
+    ) {
+        let lr = random_linear_recursion(rule_seed, RuleConfig::default());
+        let mut oracle_db = random_database(&lr, tuples, domain, db_seed);
+        let edb = oracle_db.clone();
+        semi_naive(&mut oracle_db, &lr.to_program(), None)
+            .expect("oracle saturates generated workloads");
+        let expected = oracle_db.get("P").expect("IDB is materialized");
+
+        for mode in [EngineMode::Indexed, EngineMode::Parallel { threads }] {
+            let mut db = edb.clone();
+            let config = EngineConfig { mode, max_iterations: None };
+            let stats = run_linear(&mut db, &lr, &config)
+                .expect("engine saturates generated workloads");
+            let got = db.get("P").expect("IDB is materialized");
+            prop_assert_eq!(
+                expected, got,
+                "rule_seed={} db_seed={} mode={:?} rule={}",
+                rule_seed, db_seed, mode, lr.recursive_rule
+            );
+            prop_assert!(!stats.truncated, "uncapped run reported truncation");
+            prop_assert!(
+                stats.kernel.is_some(),
+                "run_linear always classifies and picks a kernel"
+            );
+        }
+    }
+
+    /// A hard iteration cap never yields tuples outside the true fixpoint —
+    /// truncated runs are sound under-approximations.
+    #[test]
+    fn truncated_runs_are_subsets_of_the_fixpoint(
+        rule_seed in 0u64..10_000,
+        db_seed in 0u64..10_000,
+        cap in 1usize..4,
+    ) {
+        let lr = random_linear_recursion(rule_seed, RuleConfig::default());
+        let mut oracle_db = random_database(&lr, 25, 6, db_seed);
+        let edb = oracle_db.clone();
+        semi_naive(&mut oracle_db, &lr.to_program(), None).expect("oracle saturates");
+        let full = oracle_db.get("P").expect("IDB is materialized");
+
+        let mut db = edb;
+        let config = EngineConfig {
+            mode: EngineMode::Indexed,
+            max_iterations: Some(cap),
+        };
+        run_linear(&mut db, &lr, &config).expect("capped run succeeds");
+        let partial = db.get("P").expect("IDB is materialized");
+        prop_assert!(partial.len() <= full.len());
+        for t in partial.iter() {
+            prop_assert!(full.contains(t), "capped run derived a tuple outside the fixpoint");
+        }
+    }
+}

@@ -156,7 +156,7 @@ pub fn resolution_graph(rule: &Rule, k: usize) -> ResolutionGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use recurs_datalog::parser::parse_rule;
 
     fn s(x: &str) -> Symbol {

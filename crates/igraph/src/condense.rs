@@ -122,10 +122,8 @@ pub fn condense(g: &IGraph) -> Condensed {
     for members in &mut groups {
         members.sort();
     }
-    let group_of: BTreeMap<Symbol, usize> = g
-        .vertices()
-        .map(|(v, sym)| (sym, of_vertex[v]))
-        .collect();
+    let group_of: BTreeMap<Symbol, usize> =
+        g.vertices().map(|(v, sym)| (sym, of_vertex[v])).collect();
     let edges: Vec<CEdge> = g
         .edges()
         .filter(|(_, e)| e.kind == EdgeKind::Directed)

@@ -101,7 +101,10 @@ impl fmt::Display for Cycle {
 /// forward step.
 pub fn enumerate_cycles(c: &Condensed) -> Vec<Cycle> {
     let m = c.edges.len();
-    assert!(m <= 63, "cycle enumeration supports at most 63 directed edges");
+    assert!(
+        m <= 63,
+        "cycle enumeration supports at most 63 directed edges"
+    );
     let n = c.group_count();
     let mut out = Vec::new();
     // Canonical form: the cycle's minimal edge id is the first step, taken
@@ -182,10 +185,7 @@ fn dfs(
 
 /// Computes cycle properties and normalizes orientation.
 fn finish(c: &Condensed, mut steps: Vec<Step>) -> Cycle {
-    let weight: i64 = steps
-        .iter()
-        .map(|s| if s.forward { 1 } else { -1 })
-        .sum();
+    let weight: i64 = steps.iter().map(|s| if s.forward { 1 } else { -1 }).sum();
     let mut steps_norm = steps.clone();
     let mut weight_norm = weight;
     if weight < 0 {

@@ -184,14 +184,12 @@ impl IGraph {
 
     /// Directed edges only.
     pub fn directed_edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> {
-        self.edges()
-            .filter(|(_, e)| e.kind == EdgeKind::Directed)
+        self.edges().filter(|(_, e)| e.kind == EdgeKind::Directed)
     }
 
     /// Undirected edges only.
     pub fn undirected_edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> {
-        self.edges()
-            .filter(|(_, e)| e.kind == EdgeKind::Undirected)
+        self.edges().filter(|(_, e)| e.kind == EdgeKind::Undirected)
     }
 }
 
@@ -208,13 +206,9 @@ impl fmt::Display for IGraph {
                     e.label,
                     e.position.unwrap_or(0),
                 )?,
-                EdgeKind::Undirected => writeln!(
-                    f,
-                    "  {} -- {}  [{}]",
-                    self.var(e.a),
-                    self.var(e.b),
-                    e.label,
-                )?,
+                EdgeKind::Undirected => {
+                    writeln!(f, "  {} -- {}  [{}]", self.var(e.a), self.var(e.b), e.label,)?
+                }
             }
         }
         Ok(())

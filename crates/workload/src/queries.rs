@@ -11,12 +11,7 @@ use recurs_datalog::term::{Atom, Term, Value};
 /// Builds a random database with one relation per EDB predicate of the
 /// formula (all predicates appearing in bodies other than the recursive
 /// predicate), each with `tuples` random tuples over `1..=domain`.
-pub fn random_database(
-    lr: &LinearRecursion,
-    tuples: usize,
-    domain: u64,
-    seed: u64,
-) -> Database {
+pub fn random_database(lr: &LinearRecursion, tuples: usize, domain: u64, seed: u64) -> Database {
     let mut db = Database::new();
     let program = lr.to_program();
     for (i, pred) in program.edb_predicates().into_iter().enumerate() {

@@ -40,9 +40,7 @@ impl Default for RuleConfig {
 pub fn random_rule(seed: u64, config: RuleConfig) -> Rule {
     let mut rng = StdRng::seed_from_u64(seed);
     let n = rng.gen_range(config.min_dim..=config.max_dim);
-    let head_vars: Vec<Symbol> = (0..n)
-        .map(|i| Symbol::intern(&format!("h{i}")))
-        .collect();
+    let head_vars: Vec<Symbol> = (0..n).map(|i| Symbol::intern(&format!("h{i}"))).collect();
     // Recursive-atom variables: a random mix of head variables (each used at
     // most once — distinctness) and fresh variables.
     let mut available_heads: Vec<Symbol> = head_vars.clone();

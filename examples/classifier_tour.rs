@@ -32,7 +32,11 @@ fn main() {
             "P(x1, x2, x3) :- A(x1, y3), B(x2, y1), C(y2, x3), P(y1, y2, y3).",
             "ddv",
         ),
-        ("s5 (Example 5, class A4)", "P(x, y, z) :- P(y, z, x).", "dvv"),
+        (
+            "s5 (Example 5, class A4)",
+            "P(x, y, z) :- P(y, z, x).",
+            "dvv",
+        ),
         (
             "s6 (Example 6)",
             "P(x, y, z, u, v, w) :- P(z, y, u, x, w, v).",

@@ -39,7 +39,11 @@ fn main() {
     )
     .unwrap();
     let c = Classification::of(&reports.recursive_rule);
-    println!("Reports/2: class {} — strongly stable: {}", c.class, c.is_strongly_stable());
+    println!(
+        "Reports/2: class {} — strongly stable: {}",
+        c.class,
+        c.is_strongly_stable()
+    );
     let q = parse_atom("Reports('2', e)").unwrap();
     let plan = plan_query(&reports, &q);
     assert_eq!(plan.strategy, StrategyKind::Counting);
@@ -58,7 +62,11 @@ fn main() {
     )
     .unwrap();
     let c = Classification::of(&peer.recursive_rule);
-    println!("\nPeer/4: class {} — bounded with rank {:?}", c.class, c.rank_bound());
+    println!(
+        "\nPeer/4: class {} — bounded with rank {:?}",
+        c.class,
+        c.rank_bound()
+    );
     db.insert_relation("Mentor", Relation::from_pairs([(2, 7), (3, 8), (4, 9)]));
     db.insert_relation("Moved", Relation::from_pairs([(5, 2), (6, 3)]));
     db.insert_relation(

@@ -28,7 +28,10 @@ fn show(name: &str, lr: &LinearRecursion, db: &Database, query: &str) {
         c.rank_bound()
     );
     let expanded = to_nonrecursive(lr).expect("bounded");
-    println!("equivalent non-recursive program ({} rules):", expanded.rules.len());
+    println!(
+        "equivalent non-recursive program ({} rules):",
+        expanded.rules.len()
+    );
     for rule in &expanded.rules {
         println!("  {rule}");
     }
@@ -78,14 +81,19 @@ fn main() {
     );
 
     // s5 — pure permutation, rank lcm(3) − 1 = 2.
-    let s5 = validate_with_generic_exit(&parse_program("P(x, y, z) :- P(y, z, x).").unwrap())
-        .unwrap();
+    let s5 =
+        validate_with_generic_exit(&parse_program("P(x, y, z) :- P(y, z, x).").unwrap()).unwrap();
     let mut db = Database::new();
     db.insert_relation(
         "E",
         Relation::from_tuples(3, [tuple_u64([1, 2, 3]), tuple_u64([7, 7, 8])]),
     );
-    show("s5: permutational cycle (Example 5)", &s5, &db, "P(x, y, z)");
+    show(
+        "s5: permutational cycle (Example 5)",
+        &s5,
+        &db,
+        "P(x, y, z)",
+    );
 
     println!("All three formulas were answered as plain (non-recursive) view expansions.");
 }

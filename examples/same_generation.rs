@@ -25,7 +25,11 @@ fn main() {
     let lr = validate_with_generic_exit(&program).unwrap();
 
     let c = Classification::of(&lr.recursive_rule);
-    println!("same-generation class: {} (strongly stable: {})", c.class, c.is_strongly_stable());
+    println!(
+        "same-generation class: {} (strongly stable: {})",
+        c.class,
+        c.is_strongly_stable()
+    );
 
     // A little family tree: a full binary tree of depth 4.
     // `up` = child → parent; `down` = parent → child; `flat` = sibling-ish
@@ -60,5 +64,8 @@ fn main() {
     // Node 9 is at depth 3; the same generation is exactly all 8 depth-3
     // nodes (ids 8..=15).
     assert_eq!(generation, (8..=15).collect::<Vec<u64>>());
-    println!("verified: exactly the {} nodes at depth 3", generation.len());
+    println!(
+        "verified: exactly the {} nodes at depth 3",
+        generation.len()
+    );
 }

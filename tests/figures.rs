@@ -150,8 +150,7 @@ fn figure_5_s11_resolution_graphs() {
 
 #[test]
 fn figure_6_s12_resolution_graphs() {
-    let rule =
-        parse_rule("P(x, y, z) :- A(x, u), B(y, v), C(u, v), D(w, z), P(u, v, w).").unwrap();
+    let rule = parse_rule("P(x, y, z) :- A(x, u), B(y, v), C(u, v), D(w, z), P(u, v, w).").unwrap();
     let g1 = resolution_graph(&rule, 1);
     assert_eq!(g1.graph.vertex_count(), 6);
     assert_eq!(g1.graph.directed_edges().count(), 3);

@@ -28,7 +28,10 @@ fn check_all_forms(f: &LinearRecursion, db: &Database, constants: &[u64]) {
 fn s1a_transitive_closure() {
     let f = lr("P(x, y) :- A(x, z), P(z, y).");
     let c = Classification::of(&f.recursive_rule);
-    assert_eq!(c.class, FormulaClass::OneDirectional(OneDirectionalSubclass::A5));
+    assert_eq!(
+        c.class,
+        FormulaClass::OneDirectional(OneDirectionalSubclass::A5)
+    );
     assert!(c.is_strongly_stable());
 
     let mut db = Database::new();
@@ -73,7 +76,10 @@ fn s2a_example_2_expansion() {
 fn s3_example_3_stable() {
     let f = lr("P(x, y, z) :- A(x, u), B(y, v), P(u, v, w), C(w, z).");
     let c = Classification::of(&f.recursive_rule);
-    assert_eq!(c.class, FormulaClass::OneDirectional(OneDirectionalSubclass::A1));
+    assert_eq!(
+        c.class,
+        FormulaClass::OneDirectional(OneDirectionalSubclass::A1)
+    );
 
     let mut db = Database::new();
     db.insert_relation("A", Relation::from_pairs([(1, 2), (2, 3), (3, 1)]));
@@ -94,7 +100,10 @@ fn s3_example_3_stable() {
 fn s4_example_4_nonunit_rotational() {
     let f = lr("P(x1, x2, x3) :- A(x1, y3), B(x2, y1), C(y2, x3), P(y1, y2, y3).");
     let c = Classification::of(&f.recursive_rule);
-    assert_eq!(c.class, FormulaClass::OneDirectional(OneDirectionalSubclass::A3));
+    assert_eq!(
+        c.class,
+        FormulaClass::OneDirectional(OneDirectionalSubclass::A3)
+    );
     assert_eq!(c.stabilization_period(), Some(3));
 
     let mut db = Database::new();
@@ -133,7 +142,10 @@ fn s6_example_6_three_permutational_cycles() {
     let mut db = Database::new();
     db.insert_relation(
         "E",
-        Relation::from_tuples(6, [tuple_u64([1, 2, 3, 4, 5, 6]), tuple_u64([2, 2, 2, 3, 3, 3])]),
+        Relation::from_tuples(
+            6,
+            [tuple_u64([1, 2, 3, 4, 5, 6]), tuple_u64([2, 2, 2, 3, 3, 3])],
+        ),
     );
     // 2^6 forms is 64 oracle runs — keep constants small.
     check_all_forms(&f, &db, &[1, 2]);
@@ -143,7 +155,10 @@ fn s6_example_6_three_permutational_cycles() {
 fn s7_example_7_disjoint_combination() {
     let f = lr("P(x, y, z, u, w, s, v) :- A(x, t), P(t, z, y, w, s, r, v), B(u, r).");
     let c = Classification::of(&f.recursive_rule);
-    assert_eq!(c.class, FormulaClass::OneDirectional(OneDirectionalSubclass::A5));
+    assert_eq!(
+        c.class,
+        FormulaClass::OneDirectional(OneDirectionalSubclass::A5)
+    );
     assert_eq!(c.stabilization_period(), Some(6));
 
     let mut db = Database::new();
@@ -208,7 +223,10 @@ fn s10_example_10_no_nontrivial_cycle() {
     assert_eq!(c.rank_bound(), Some(2));
 
     let mut db = Database::new();
-    db.insert_relation("B", Relation::from_tuples(1, [tuple_u64([5]), tuple_u64([6])]));
+    db.insert_relation(
+        "B",
+        Relation::from_tuples(1, [tuple_u64([5]), tuple_u64([6])]),
+    );
     db.insert_relation("C", Relation::from_pairs([(1, 7), (2, 8), (3, 7)]));
     db.insert_relation("E", Relation::from_pairs([(9, 7), (4, 8), (2, 5)]));
     check_all_forms(&f, &db, &[1, 5]);

@@ -57,7 +57,13 @@ fn counting_with_period_two_frontier() {
     // 1↔2 and 3↔4 alternations.
     db.insert_relation("A", Relation::from_pairs([(1, 2), (2, 1), (3, 4), (4, 3)]));
     db.insert_relation("E", Relation::from_pairs([(1, 9), (2, 8), (4, 7)]));
-    for q in ["P('1', y)", "P('2', y)", "P('3', y)", "P(x, '9')", "P(x, y)"] {
+    for q in [
+        "P('1', y)",
+        "P('2', y)",
+        "P('3', y)",
+        "P(x, '9')",
+        "P(x, y)",
+    ] {
         assert_equivalent(&f, &db, &parse_atom(q).unwrap());
     }
 }
@@ -191,7 +197,13 @@ fn empty_exit_relation_everywhere() {
         }
         db.insert_relation("A", Relation::from_pairs([(1, 2), (2, 3)]));
         let n = f.dimension();
-        let q_src = format!("P({})", (0..n).map(|i| format!("v{i}")).collect::<Vec<_>>().join(", "));
+        let q_src = format!(
+            "P({})",
+            (0..n)
+                .map(|i| format!("v{i}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
         let q = parse_atom(&q_src).unwrap();
         let plan = plan_query(&f, &q);
         assert!(plan.execute(&db, &q).unwrap().is_empty(), "{src}");
@@ -224,8 +236,10 @@ fn transform_then_compress_composes() {
     // answers must survive both rewrites.
     use recurs_core::compress::compress;
     use recurs_core::transform::unfold_to_stable;
-    let f = lr("P(x1, x2, x3) :- A(x1, y3), B(x2, y1), C(y2, x3), P(y1, y2, y3).\n\
-                P(x1, x2, x3) :- E(x1, x2, x3).");
+    let f = lr(
+        "P(x1, x2, x3) :- A(x1, y3), B(x2, y1), C(y2, x3), P(y1, y2, y3).\n\
+                P(x1, x2, x3) :- E(x1, x2, x3).",
+    );
     let t = unfold_to_stable(&f).unwrap();
     let stable = t.to_linear_recursion();
     let c = compress(&stable);

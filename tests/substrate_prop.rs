@@ -10,8 +10,7 @@ use recurs_datalog::unfold::{expansion, Unfolder};
 use recurs_datalog::Value;
 
 fn arb_relation(max_tuples: usize, domain: u64) -> impl Strategy<Value = Relation> {
-    prop::collection::vec((1..=domain, 1..=domain), 0..max_tuples)
-        .prop_map(Relation::from_pairs)
+    prop::collection::vec((1..=domain, 1..=domain), 0..max_tuples).prop_map(Relation::from_pairs)
 }
 
 proptest! {
@@ -175,7 +174,10 @@ fn eval_order_does_not_change_results() {
     db.insert_relation("C", Relation::from_pairs([(5, 7), (6, 8), (9, 9)]));
     let bindings = eval_body(&db, &rule.body, &HashMap::new()).unwrap();
     let q = bindings
-        .project_vars(&[recurs_datalog::Symbol::intern("x"), recurs_datalog::Symbol::intern("v")])
+        .project_vars(&[
+            recurs_datalog::Symbol::intern("x"),
+            recurs_datalog::Symbol::intern("v"),
+        ])
         .unwrap();
     let expected = Relation::from_pairs([(1, 7), (3, 8)]);
     assert_eq!(q, expected);
@@ -189,8 +191,7 @@ fn large_chain_fixpoint_is_exact() {
     use recurs_datalog::parser::parse_program;
     use recurs_datalog::Database;
 
-    let program =
-        parse_program("P(x, y) :- E(x, y).\nP(x, y) :- A(x, z), P(z, y).").unwrap();
+    let program = parse_program("P(x, y) :- E(x, y).\nP(x, y) :- A(x, z), P(z, y).").unwrap();
     let mut db = Database::new();
     db.insert_relation("A", recurs_workload::chain(200));
     db.insert_relation("E", recurs_workload::chain(200));
@@ -203,8 +204,8 @@ fn counting_equals_magic_equals_fixpoint_on_shared_case() {
     // Tri-modal agreement on one workload where all three strategies can
     // answer: a stable formula (counting), forced magic via plan_for_form on
     // the general path, and the raw fixpoint.
-    use recurs_core::magic;
     use recurs_core::counting;
+    use recurs_core::magic;
     use recurs_datalog::adornment::QueryForm;
     use recurs_datalog::parser::{parse_atom, parse_program};
     use recurs_datalog::validate::validate_with_generic_exit;

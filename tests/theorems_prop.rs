@@ -6,8 +6,8 @@ use recurs_core::classify::{Classification, FormulaClass};
 use recurs_core::stability::check_theorem_1;
 use recurs_core::transform::{to_nonrecursive, unfold_to_stable};
 use recurs_datalog::eval::semi_naive;
-use recurs_workload::rules::{random_linear_recursion, random_rule, RuleConfig};
 use recurs_workload::random_database;
+use recurs_workload::rules::{random_linear_recursion, random_rule, RuleConfig};
 
 fn config() -> RuleConfig {
     RuleConfig {

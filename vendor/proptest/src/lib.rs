@@ -1,0 +1,540 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this vendored crate
+//! provides the API subset the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]`),
+//! * `prop_assert!` / `prop_assert_eq!`,
+//! * integer range strategies, tuple strategies, `prop::collection::vec`,
+//!   `prop::sample::select`, `.prop_map`, and string-pattern strategies for
+//!   the char-class shapes the tests use,
+//! * [`test_runner::ProptestConfig`] and a deterministic runner.
+//!
+//! Unlike real proptest there is **no shrinking** and the case stream is
+//! deterministic (seeded per test from the case index), which keeps test
+//! runs reproducible without regression files.
+
+pub mod strategy {
+    //! Value-generation strategies (no shrinking).
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128) - (self.start as u128);
+                    self.start + (rng.next_u64() as u128 % span) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u128) - (lo as u128) + 1;
+                    lo + (rng.next_u64() as u128 % span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),*) => {
+            impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+                type Value = ($($name::Value,)*);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)*) = self;
+                    ($($name.generate(rng),)*)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// String-pattern strategies: `&str` is interpreted as a (tiny subset of
+    /// a) regex. Supported shapes, chosen to cover the workspace's tests:
+    ///
+    /// * `"\\PC*"` — any printable characters, length 0..48;
+    /// * `"[<class>]{lo,hi}"` — characters from a char class (literal chars,
+    ///   `a-z` ranges, `\\`-escapes), length in `lo..=hi`;
+    /// * anything else — alphanumeric noise, length 0..24 (robustness tests
+    ///   only need *arbitrary* input, not faithful regex sampling).
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            pattern_string(self, rng)
+        }
+    }
+
+    fn pattern_string(pattern: &str, rng: &mut TestRng) -> String {
+        if pattern == "\\PC*" {
+            let len = (rng.next_u64() % 48) as usize;
+            return (0..len).map(|_| printable_char(rng)).collect();
+        }
+        if let Some((class, lo, hi)) = parse_class_repeat(pattern) {
+            let span = (hi - lo + 1) as u64;
+            let len = lo + (rng.next_u64() % span) as usize;
+            return (0..len)
+                .map(|_| class[(rng.next_u64() % class.len() as u64) as usize])
+                .collect();
+        }
+        let len = (rng.next_u64() % 24) as usize;
+        const ALNUM: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+        (0..len)
+            .map(|_| ALNUM[(rng.next_u64() % ALNUM.len() as u64) as usize] as char)
+            .collect()
+    }
+
+    fn printable_char(rng: &mut TestRng) -> char {
+        // Mostly ASCII printable, occasionally a multibyte scalar.
+        match rng.next_u64() % 8 {
+            0 => 'λ',
+            1 => 'é',
+            _ => (0x20 + (rng.next_u64() % 0x5F) as u8) as char,
+        }
+    }
+
+    /// Parses `[<class>]{lo,hi}` into (member characters, lo, hi).
+    fn parse_class_repeat(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pattern.strip_prefix('[')?;
+        let close = rest.find(']')?;
+        let (class_src, tail) = rest.split_at(close);
+        let tail = tail.strip_prefix(']')?;
+        let tail = tail.strip_prefix('{')?;
+        let tail = tail.strip_suffix('}')?;
+        let (lo, hi) = tail.split_once(',')?;
+        let lo: usize = lo.trim().parse().ok()?;
+        let hi: usize = hi.trim().parse().ok()?;
+        if hi < lo {
+            return None;
+        }
+        let mut members = Vec::new();
+        let mut chars = class_src.chars().peekable();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                if let Some(escaped) = chars.next() {
+                    members.push(escaped);
+                }
+            } else if chars.peek() == Some(&'-') {
+                let mut lookahead = chars.clone();
+                lookahead.next(); // consume '-'
+                match lookahead.next() {
+                    Some(end) if end != ']' => {
+                        chars = lookahead;
+                        for code in (c as u32)..=(end as u32) {
+                            if let Some(m) = char::from_u32(code) {
+                                members.push(m);
+                            }
+                        }
+                    }
+                    _ => members.push(c),
+                }
+            } else {
+                members.push(c);
+            }
+        }
+        if members.is_empty() {
+            None
+        } else {
+            Some((members, lo, hi))
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a random length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy drawing a uniformly random element of `options` (cloned).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    /// Strategy returned by [`select`].
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[(rng.next_u64() % self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Configuration, RNG, and the per-test case loop.
+
+    /// Number of cases to run per property.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// How many generated cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed property case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        /// Human-readable failure reason.
+        pub reason: String,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure from a reason.
+        pub fn fail(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError {
+                reason: reason.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.reason)
+        }
+    }
+
+    /// Deterministic RNG feeding the strategies (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the stream.
+        pub fn seed_from_u64(seed: u64) -> TestRng {
+            TestRng { state: seed }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Runs the property closure over `config.cases` deterministic cases and
+    /// panics (with the case index) on the first failure.
+    pub struct TestRunner {
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        /// Builds a runner.
+        pub fn new(config: ProptestConfig) -> TestRunner {
+            TestRunner { config }
+        }
+
+        /// The case loop. `test_name` improves failure messages.
+        pub fn run_cases<F>(&mut self, test_name: &str, mut case: F)
+        where
+            F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+        {
+            // Seed per test name so distinct properties see distinct streams,
+            // but reruns are identical (no regression files needed).
+            let name_hash = test_name.bytes().fold(0xCBF2_9CE4_8422_2325u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+            });
+            for i in 0..self.config.cases {
+                let mut rng =
+                    TestRng::seed_from_u64(name_hash ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15));
+                if let Err(e) = case(&mut rng) {
+                    panic!(
+                        "proptest property `{test_name}` failed at case {i}/{}:\n{}",
+                        self.config.cases, e.reason
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The `prop::` paths used inside `proptest!` bodies.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    //! What `use proptest::prelude::*` brings in.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines deterministic property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of `fn name(arg in strategy,
+/// ...) { body }` items (attributes, including `#[test]`, are forwarded).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            @cfg($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($cfg);
+            runner.run_cases(stringify!($name), |__proptest_rng| {
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);
+                )+
+                let __proptest_result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                __proptest_result
+            });
+        }
+        $crate::__proptest_items! { @cfg($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body (fails the case, with
+/// optional formatted context).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`\n{}",
+            l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u64..9, y in 1usize..=4) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_vec(pair in (1u64..=5, 1u64..=5), v in prop::collection::vec(0u64..10, 0..6)) {
+            prop_assert!(pair.0 >= 1 && pair.1 <= 5);
+            prop_assert!(v.len() < 6);
+            for x in v {
+                prop_assert!(x < 10);
+            }
+        }
+
+        #[test]
+        fn select_picks_member(x in prop::sample::select(vec![2u32, 4, 8])) {
+            prop_assert!([2, 4, 8].contains(&x));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_works(s in "[a-c]{1,3}") {
+            prop_assert!(!s.is_empty() && s.len() <= 3);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let strat = (1u64..=3).prop_map(|x| x * 10);
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert!([10, 20, 30].contains(&v));
+        }
+    }
+
+    #[test]
+    fn pc_star_generates_printables() {
+        let mut rng = TestRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let s = "\\PC*".generate(&mut rng);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_case_index() {
+        proptest! {
+            #[allow(dead_code)]
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

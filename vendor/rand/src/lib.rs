@@ -1,0 +1,281 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so this vendored crate
+//! provides the (small) API subset the workspace actually uses: a seeded
+//! deterministic PRNG (`StdRng`/`SmallRng` over SplitMix64), the `Rng`
+//! extension methods `gen_range`/`gen_bool`/`gen`, `SeedableRng`, and
+//! `seq::SliceRandom::{shuffle, choose}`.
+//!
+//! It is **not** statistically equivalent to the real `rand`; the workspace
+//! only relies on determinism-given-seed, which SplitMix64 provides.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed. Deterministic.
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Builds the generator from OS entropy. Offline stand-in: a fixed seed,
+    /// so programs remain deterministic.
+    fn from_entropy() -> Self {
+        Self::seed_from_u64(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+/// Types that can be sampled uniformly from a range by [`Rng::gen_range`].
+pub trait SampleUniform: Copy {
+    /// Samples uniformly from `[low, high)`. Panics if the range is empty.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Samples uniformly from `[low, high]`. Panics if `low > high`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: $t, high: $t) -> $t {
+                assert!(low < high, "cannot sample from empty range");
+                let span = (high as u128) - (low as u128);
+                low + (rng.next_u64() as u128 % span) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: $t, high: $t) -> $t {
+                assert!(low <= high, "cannot sample from empty range");
+                let span = (high as u128) - (low as u128) + 1;
+                low + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: $t, high: $t) -> $t {
+                assert!(low < high, "cannot sample from empty range");
+                let span = (high as i128 - low as i128) as u128;
+                (low as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: $t, high: $t) -> $t {
+                assert!(low <= high, "cannot sample from empty range");
+                let span = (high as i128 - low as i128) as u128 + 1;
+                (low as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, isize);
+
+/// A range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one sample.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// High-level sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a range (`0..n` or `0..=n`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to [0, 1]).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let threshold = (p.clamp(0.0, 1.0) * u64::MAX as f64) as u64;
+        self.next_u64() <= threshold
+    }
+
+    /// A random value; offline stand-in supports `u64`/`u32`/`bool` via
+    /// [`FromRng`].
+    fn gen<T: FromRng>(&mut self) -> T {
+        T::from_rng(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types producible by [`Rng::gen`].
+pub trait FromRng {
+    /// Draws one value.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl FromRng for u64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl FromRng for u32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl FromRng for bool {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic 64-bit PRNG (SplitMix64). Stand-in for rand's `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (public domain, Sebastiano Vigna).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+
+    /// Same generator under rand's "small" name.
+    pub type SmallRng = StdRng;
+}
+
+/// Sequence helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Shuffling and choosing on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+/// `rand::prelude` stand-in.
+pub mod prelude {
+    pub use crate::rngs::{SmallRng, StdRng};
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+/// A convenience generator seeded from a fixed constant (no OS entropy
+/// offline); prefer explicit seeds.
+pub fn thread_rng() -> rngs::StdRng {
+    SeedableRng::seed_from_u64(0xDEAD_BEEF_CAFE_F00D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x: u64 = rng.gen_range(5..10);
+            assert!((5..10).contains(&x));
+            let y: usize = rng.gen_range(0..=3);
+            assert!(y <= 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!((0..50).all(|_| rng.gen_bool(1.0)));
+        assert!((0..50).all(|_| !rng.gen_bool(0.0)));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..20).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+}
