@@ -10,7 +10,17 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (-D warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+# The unwrap/expect lint gate (crates/{datalog,engine,cli} carry
+# `#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]`)
+# is hardened to an error by -D warnings above; the fault-inject feature is
+# linted separately because it swaps in the non-test fault hooks.
+echo "==> cargo clippy --features fault-inject (-D warnings)"
+cargo clippy -p recurs-engine --all-targets --features fault-inject --offline -- -D warnings
+
 echo "==> cargo test"
 cargo test --workspace --offline -q
+
+echo "==> cargo test fault-injection suite"
+cargo test -p recurs-engine --features fault-inject --offline -q
 
 echo "==> OK"

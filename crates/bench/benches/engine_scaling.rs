@@ -16,6 +16,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use recurs_datalog::eval::semi_naive;
+use recurs_datalog::govern::EvalBudget;
 use recurs_datalog::parser::parse_program;
 use recurs_datalog::relation::Relation;
 use recurs_datalog::rule::LinearRecursion;
@@ -79,9 +80,10 @@ fn engine_fixpoint(db: &Database, f: &LinearRecursion, mode: EngineMode) -> Data
     let mut db = db.clone();
     let config = EngineConfig {
         mode,
-        max_iterations: None,
+        budget: EvalBudget::unlimited(),
     };
-    run_linear(&mut db, f, &config).unwrap();
+    let sat = run_linear(&mut db, f, &config).unwrap();
+    assert!(sat.outcome.is_complete());
     db
 }
 

@@ -17,12 +17,14 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 use recurs_core::oracle::compare;
 use recurs_core::plan::plan_query;
 use recurs_core::report::{classification_report, plan_report};
 use recurs_datalog::adornment::QueryForm;
-use recurs_datalog::eval::{answer_query, semi_naive};
+use recurs_datalog::eval::{answer_query, semi_naive, semi_naive_governed};
+use recurs_datalog::govern::{CancelToken, EvalBudget, Outcome};
 use recurs_datalog::parser::parse;
 use recurs_datalog::rule::LinearRecursion;
 use recurs_datalog::validate::validate_with_generic_exit;
@@ -31,6 +33,7 @@ use recurs_engine::{EngineConfig, EngineMode};
 use recurs_igraph::build::resolution_graph;
 use recurs_igraph::dot::{to_ascii, to_dot};
 use std::fmt::Write as _;
+use std::time::Duration;
 
 /// Which evaluation engine `recurs run --engine` saturates the database
 /// with, instead of the default class-driven query plans.
@@ -82,7 +85,8 @@ pub enum Command {
         /// Query-form patterns (`dvv`-style); defaults to the file's queries.
         forms: Vec<String>,
     },
-    /// `recurs run <file> [--check] [--engine E] [--threads N]`
+    /// `recurs run <file> [--check] [--engine E] [--threads N]
+    /// [--timeout-ms T] [--max-tuples N] [--max-iterations K]`
     Run {
         /// Source file path.
         file: String,
@@ -92,6 +96,12 @@ pub enum Command {
         engine: Option<EngineChoice>,
         /// Worker threads for `--engine parallel`.
         threads: usize,
+        /// Wall-clock budget in milliseconds (requires `--engine`).
+        timeout_ms: Option<u64>,
+        /// Derived-tuple ceiling (requires `--engine`).
+        max_tuples: Option<usize>,
+        /// Iteration cap (requires `--engine`).
+        max_iterations: Option<usize>,
     },
     /// `recurs figure <file> [--levels k] [--dot]`
     Figure {
@@ -118,9 +128,20 @@ USAGE:
                       [--engine oracle|indexed|parallel] [--threads N]
                                            saturate with the chosen engine
                                            instead of compiled query plans
+                      [--timeout-ms T] [--max-tuples N] [--max-iterations K]
+                                           budget the saturation (with --engine);
+                                           a budgeted-out run prints the sound
+                                           partial answers and exits with code 2
+
     recurs figure <file> [--levels K] [--dot]
                                            print I-graph / resolution graphs
     recurs help                            this text
+
+EXIT CODES:
+    0  complete   the run reached the fixpoint
+    2  truncated  a budget or Ctrl-C stopped the run early (answers are a
+                  sound under-approximation of the fixpoint)
+    1  error      bad usage, unreadable file, invalid program, or engine error
 
 FILE FORMAT:
     One linear recursive rule, optional exit rules, optional facts
@@ -163,6 +184,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut check = false;
             let mut engine = None;
             let mut threads = 2usize;
+            let mut timeout_ms = None;
+            let mut max_tuples = None;
+            let mut max_iterations = None;
             let rest: Vec<&String> = it.collect();
             let mut i = 0;
             while i < rest.len() {
@@ -188,14 +212,45 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         }
                         i += 2;
                     }
+                    "--timeout-ms" => {
+                        let t = rest.get(i + 1).ok_or("--timeout-ms needs a number")?;
+                        timeout_ms = Some(t.parse().map_err(|_| format!("invalid timeout `{t}`"))?);
+                        i += 2;
+                    }
+                    "--max-tuples" => {
+                        let n = rest.get(i + 1).ok_or("--max-tuples needs a number")?;
+                        max_tuples =
+                            Some(n.parse().map_err(|_| format!("invalid tuple cap `{n}`"))?);
+                        i += 2;
+                    }
+                    "--max-iterations" => {
+                        let k = rest.get(i + 1).ok_or("--max-iterations needs a number")?;
+                        max_iterations = Some(
+                            k.parse()
+                                .map_err(|_| format!("invalid iteration cap `{k}`"))?,
+                        );
+                        i += 2;
+                    }
                     other => return Err(format!("unknown option `{other}`")),
                 }
+            }
+            if engine.is_none()
+                && (timeout_ms.is_some() || max_tuples.is_some() || max_iterations.is_some())
+            {
+                return Err(
+                    "--timeout-ms/--max-tuples/--max-iterations budget a saturation run; \
+                     pick one with --engine oracle|indexed|parallel"
+                        .into(),
+                );
             }
             Ok(Command::Run {
                 file: file.clone(),
                 check,
                 engine,
                 threads,
+                timeout_ms,
+                max_tuples,
+                max_iterations,
             })
         }
         "figure" => {
@@ -288,9 +343,35 @@ fn write_answers(out: &mut String, query: &Atom, label: &str, answers: &recurs_d
     }
 }
 
+/// The printable output of a command plus how the run ended.
+///
+/// `outcome` is [`Outcome::Complete`] for every command except a budgeted
+/// `run --engine …` that was stopped early; the binary maps it to the exit
+/// code (0 complete, 2 truncated).
+#[derive(Debug, Clone)]
+pub struct CmdOutput {
+    /// Text to print to stdout.
+    pub text: String,
+    /// How the evaluation ended.
+    pub outcome: Outcome,
+}
+
 /// Runs a command against a source text, returning the printable output.
+/// Convenience wrapper over [`execute`] that drops the outcome.
 pub fn run_on_source(cmd: &Command, source: &str) -> Result<String, String> {
+    execute(cmd, source, None).map(|o| o.text)
+}
+
+/// Runs a command against a source text. A `cancel` token, when given, is
+/// wired into the evaluation budget of `run --engine …` so Ctrl-C stops the
+/// saturation cooperatively (reported as a truncated outcome, not an error).
+pub fn execute(
+    cmd: &Command,
+    source: &str,
+    cancel: Option<CancelToken>,
+) -> Result<CmdOutput, String> {
     let mut out = String::new();
+    let mut outcome = Outcome::Complete;
     match cmd {
         Command::Help => out.push_str(USAGE),
         Command::Classify { .. } => {
@@ -308,7 +389,10 @@ pub fn run_on_source(cmd: &Command, source: &str) -> Result<String, String> {
                     loaded.queries.iter().map(QueryForm::of_atom).collect()
                 }
             } else {
-                forms.iter().map(|f| QueryForm::parse(f)).collect()
+                forms
+                    .iter()
+                    .map(|f| QueryForm::try_parse(f))
+                    .collect::<Result<_, _>>()?
             };
             for form in forms {
                 if form.arity() != loaded.lr.dimension() {
@@ -326,6 +410,9 @@ pub fn run_on_source(cmd: &Command, source: &str) -> Result<String, String> {
             check,
             engine,
             threads,
+            timeout_ms,
+            max_tuples,
+            max_iterations,
             ..
         } => {
             let loaded = load(source)?;
@@ -359,13 +446,28 @@ pub fn run_on_source(cmd: &Command, source: &str) -> Result<String, String> {
                     }
                 }
                 Some(choice) => {
-                    // Saturate once with the chosen engine, then answer
-                    // every query against the fixpoint.
+                    // Saturate once with the chosen engine under the
+                    // requested budget, then answer every query against the
+                    // (possibly partial) saturated database.
+                    let mut budget = EvalBudget::iteration_cap(*max_iterations);
+                    if let Some(ms) = timeout_ms {
+                        budget = budget.with_timeout(Duration::from_millis(*ms));
+                    }
+                    if let Some(n) = max_tuples {
+                        budget = budget.with_max_tuples(*n);
+                    }
+                    if let Some(token) = cancel {
+                        budget = budget.with_cancel(token);
+                    }
                     let mut db = loaded.db.clone();
                     let label = match choice {
                         EngineChoice::Oracle => {
-                            let stats = semi_naive(&mut db, &loaded.lr.to_program(), None)
-                                .map_err(|e| format!("oracle engine failed: {e}"))?;
+                            let stats =
+                                semi_naive_governed(&mut db, &loaded.lr.to_program(), &budget)
+                                    .map_err(|e| format!("oracle engine failed: {e}"))?;
+                            if let Some(reason) = stats.truncation {
+                                outcome = Outcome::Truncated(reason);
+                            }
                             format!("engine:oracle iterations={}", stats.iterations)
                         }
                         EngineChoice::Indexed | EngineChoice::Parallel => {
@@ -376,15 +478,16 @@ pub fn run_on_source(cmd: &Command, source: &str) -> Result<String, String> {
                                     }
                                     _ => EngineMode::Indexed,
                                 },
-                                max_iterations: None,
+                                budget,
                             };
-                            let stats = recurs_engine::run_linear(&mut db, &loaded.lr, &config)
+                            let sat = recurs_engine::run_linear(&mut db, &loaded.lr, &config)
                                 .map_err(|e| format!("engine failed: {e}"))?;
+                            outcome = sat.outcome;
                             format!(
                                 "engine:{} kernel:{} iterations={}",
                                 choice.label(),
-                                stats.kernel.map_or_else(|| "?".into(), |k| k.label()),
-                                stats.iteration_count()
+                                sat.stats.kernel.map_or_else(|| "?".into(), |k| k.label()),
+                                sat.stats.iteration_count()
                             )
                         }
                     };
@@ -404,18 +507,45 @@ pub fn run_on_source(cmd: &Command, source: &str) -> Result<String, String> {
                         if let Some(odb) = &oracle_db {
                             let expected = answer_query(odb, query)
                                 .map_err(|e| format!("oracle query failed: {e}"))?;
-                            let agrees = answers == expected;
-                            let _ = writeln!(
-                                out,
-                                "  oracle: {}",
-                                if agrees { "agrees" } else { "DISAGREES" }
-                            );
-                            if !agrees {
-                                return Err(format!(
-                                    "engine disagrees with the fixpoint on {query}"
-                                ));
+                            if outcome.is_complete() {
+                                let agrees = answers == expected;
+                                let _ = writeln!(
+                                    out,
+                                    "  oracle: {}",
+                                    if agrees { "agrees" } else { "DISAGREES" }
+                                );
+                                if !agrees {
+                                    return Err(format!(
+                                        "engine disagrees with the fixpoint on {query}"
+                                    ));
+                                }
+                            } else {
+                                // A truncated run only promises a sound
+                                // under-approximation: every answer must lie
+                                // inside the fixpoint's answer set.
+                                let sound = answers.iter().all(|t| expected.contains(t));
+                                let _ = writeln!(
+                                    out,
+                                    "  oracle: {}",
+                                    if sound {
+                                        "subset of the fixpoint (truncated run)"
+                                    } else {
+                                        "DISAGREES"
+                                    }
+                                );
+                                if !sound {
+                                    return Err(format!(
+                                        "truncated run over-approximates the fixpoint on {query}"
+                                    ));
+                                }
                             }
                         }
+                    }
+                    if let Some(reason) = outcome.truncation() {
+                        let _ = writeln!(
+                            out,
+                            "truncated: {reason} (answers are a sound under-approximation)"
+                        );
                     }
                 }
             }
@@ -432,7 +562,7 @@ pub fn run_on_source(cmd: &Command, source: &str) -> Result<String, String> {
             }
         }
     }
-    Ok(out)
+    Ok(CmdOutput { text: out, outcome })
 }
 
 #[cfg(test)]
@@ -474,7 +604,10 @@ E(1, 2). E(2, 3). E(2, 4).
                 file: "f.dl".into(),
                 check: true,
                 engine: None,
-                threads: 2
+                threads: 2,
+                timeout_ms: None,
+                max_tuples: None,
+                max_iterations: None,
             }
         );
         assert_eq!(
@@ -491,7 +624,10 @@ E(1, 2). E(2, 3). E(2, 4).
                 file: "f.dl".into(),
                 check: false,
                 engine: Some(EngineChoice::Parallel),
-                threads: 4
+                threads: 4,
+                timeout_ms: None,
+                max_tuples: None,
+                max_iterations: None,
             }
         );
         assert!(parse_args(&args(&["run", "f.dl", "--engine", "warp"])).is_err());
@@ -509,6 +645,112 @@ E(1, 2). E(2, 3). E(2, 4).
         assert!(parse_args(&args(&["bogus"])).is_err());
         assert!(parse_args(&args(&["plan", "f.dl", "--form"])).is_err());
         assert!(parse_args(&args(&["figure", "f.dl", "--levels", "0"])).is_err());
+    }
+
+    #[test]
+    fn parse_args_budget_flags() {
+        assert_eq!(
+            parse_args(&args(&[
+                "run",
+                "f.dl",
+                "--engine",
+                "indexed",
+                "--timeout-ms",
+                "250",
+                "--max-tuples",
+                "100",
+                "--max-iterations",
+                "7"
+            ]))
+            .unwrap(),
+            Command::Run {
+                file: "f.dl".into(),
+                check: false,
+                engine: Some(EngineChoice::Indexed),
+                threads: 2,
+                timeout_ms: Some(250),
+                max_tuples: Some(100),
+                max_iterations: Some(7),
+            }
+        );
+        // Budget flags without an engine are a usage error.
+        let err = parse_args(&args(&["run", "f.dl", "--max-tuples", "5"])).unwrap_err();
+        assert!(err.contains("--engine"), "{err}");
+        assert!(parse_args(&args(&["run", "f.dl", "--timeout-ms", "abc"])).is_err());
+        assert!(parse_args(&args(&["run", "f.dl", "--max-tuples"])).is_err());
+    }
+
+    fn budgeted_run(
+        engine: EngineChoice,
+        max_tuples: Option<usize>,
+        max_iterations: Option<usize>,
+    ) -> Command {
+        Command::Run {
+            file: String::new(),
+            check: true,
+            engine: Some(engine),
+            threads: 2,
+            timeout_ms: None,
+            max_tuples,
+            max_iterations,
+        }
+    }
+
+    #[test]
+    fn budgeted_run_reports_truncation_and_a_sound_subset() {
+        for engine in [
+            EngineChoice::Oracle,
+            EngineChoice::Indexed,
+            EngineChoice::Parallel,
+        ] {
+            let out = execute(&budgeted_run(engine, Some(1), None), TC, None).unwrap();
+            assert!(
+                !out.outcome.is_complete(),
+                "{}: tuple ceiling 1 must truncate",
+                engine.label()
+            );
+            assert!(
+                out.text.contains("truncated: tuple ceiling"),
+                "{}",
+                out.text
+            );
+            assert!(!out.text.contains("DISAGREES"), "{}", out.text);
+        }
+    }
+
+    #[test]
+    fn unbudgeted_run_outcome_is_complete() {
+        let out = execute(&budgeted_run(EngineChoice::Indexed, None, None), TC, None).unwrap();
+        assert!(out.outcome.is_complete());
+        assert!(out.text.contains("oracle: agrees"), "{}", out.text);
+        assert!(!out.text.contains("truncated"), "{}", out.text);
+    }
+
+    #[test]
+    fn pre_cancelled_token_truncates_immediately() {
+        let token = CancelToken::new();
+        token.cancel();
+        let out = execute(
+            &budgeted_run(EngineChoice::Indexed, None, None),
+            TC,
+            Some(token),
+        )
+        .unwrap();
+        assert!(!out.outcome.is_complete());
+        assert!(out.text.contains("truncated: cancelled"), "{}", out.text);
+    }
+
+    #[test]
+    fn plan_rejects_malformed_query_form() {
+        let err = run_on_source(
+            &Command::Plan {
+                file: String::new(),
+                forms: vec!["dxz".into()],
+            },
+            TC,
+        )
+        .unwrap_err();
+        assert!(err.contains("invalid query-form character"), "{err}");
     }
 
     #[test]
@@ -532,6 +774,9 @@ E(1, 2). E(2, 3). E(2, 4).
                 check: true,
                 engine: None,
                 threads: 2,
+                timeout_ms: None,
+                max_tuples: None,
+                max_iterations: None,
             },
             TC,
         )
@@ -552,6 +797,9 @@ E(1, 2). E(2, 3). E(2, 4).
                 check: false,
                 engine: None,
                 threads: 2,
+                timeout_ms: None,
+                max_tuples: None,
+                max_iterations: None,
             },
             TC,
         )
@@ -567,6 +815,9 @@ E(1, 2). E(2, 3). E(2, 4).
                     check: true,
                     engine: Some(choice),
                     threads: 3,
+                    timeout_ms: None,
+                    max_tuples: None,
+                    max_iterations: None,
                 },
                 TC,
             )
@@ -585,6 +836,9 @@ E(1, 2). E(2, 3). E(2, 4).
                 check: false,
                 engine: Some(EngineChoice::Indexed),
                 threads: 2,
+                timeout_ms: None,
+                max_tuples: None,
+                max_iterations: None,
             },
             TC,
         )
@@ -651,6 +905,9 @@ E(1, 2). E(2, 3). E(2, 4).
                 check: false,
                 engine: None,
                 threads: 2,
+                timeout_ms: None,
+                max_tuples: None,
+                max_iterations: None,
             },
             "P(x, y) :- A(x, z), P(z, y).\nP(x, y) :- E(x, y).",
         )
@@ -669,6 +926,9 @@ E(1, 2). E(2, 3). E(2, 4).
                 check: true,
                 engine: None,
                 threads: 2,
+                timeout_ms: None,
+                max_tuples: None,
+                max_iterations: None,
             },
             src,
         )

@@ -1,6 +1,38 @@
 //! The `recurs` command-line tool. See [`recurs_cli::USAGE`].
+//!
+//! Exit codes: 0 — the run completed (reached the fixpoint); 2 — a budget
+//! or Ctrl-C truncated the run (the printed answers are a sound
+//! under-approximation); 1 — usage, file, program, or engine error.
 
-use recurs_cli::{parse_args, run_on_source, Command, USAGE};
+use recurs_cli::{execute, parse_args, Command, USAGE};
+use recurs_datalog::govern::CancelToken;
+
+/// Installs a SIGINT handler that flips `token`, so a long saturation is
+/// stopped cooperatively (and reported as a truncated run) instead of the
+/// process being killed mid-write.
+#[cfg(unix)]
+fn install_ctrl_c(token: CancelToken) {
+    use std::sync::OnceLock;
+    static TOKEN: OnceLock<CancelToken> = OnceLock::new();
+    extern "C" fn on_sigint(_signum: i32) {
+        // Only async-signal-safe work here: a single atomic store.
+        if let Some(t) = TOKEN.get() {
+            t.cancel();
+        }
+    }
+    if TOKEN.set(token).is_ok() {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn install_ctrl_c(_token: CancelToken) {}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -8,7 +40,7 @@ fn main() {
         Ok(cmd) => cmd,
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(2);
+            std::process::exit(1);
         }
     };
     let source = match &cmd {
@@ -20,7 +52,7 @@ fn main() {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("error: cannot read {file}: {e}");
-                std::process::exit(2);
+                std::process::exit(1);
             }
         },
     };
@@ -28,8 +60,15 @@ fn main() {
         println!("{USAGE}");
         return;
     }
-    match run_on_source(&cmd, &source) {
-        Ok(out) => print!("{out}"),
+    let token = CancelToken::new();
+    install_ctrl_c(token.clone());
+    match execute(&cmd, &source, Some(token)) {
+        Ok(out) => {
+            print!("{}", out.text);
+            if !out.outcome.is_complete() {
+                std::process::exit(2);
+            }
+        }
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);

@@ -15,6 +15,9 @@ fn run_cmd(check: bool, engine: Option<EngineChoice>) -> Command {
         check,
         engine,
         threads: 3,
+        timeout_ms: None,
+        max_tuples: None,
+        max_iterations: None,
     }
 }
 

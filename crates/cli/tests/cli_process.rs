@@ -1,0 +1,148 @@
+//! End-to-end subprocess tests of the `recurs` binary: the exit-code
+//! contract (0 complete / 2 truncated / 1 error) and the budget flags, run
+//! exactly as a shell user would.
+
+use std::process::{Command, Output};
+
+fn dataset(name: &str) -> String {
+    format!("{}/../../datasets/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn recurs(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_recurs"))
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("cannot spawn recurs: {e}"))
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn complete_run_exits_zero() {
+    let out = recurs(&[
+        "run",
+        &dataset("transitive_closure.dl"),
+        "--engine",
+        "indexed",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stdout(&out).contains("engine:indexed"));
+    assert!(!stdout(&out).contains("truncated"));
+}
+
+#[test]
+fn tuple_ceiling_stops_class_c_with_exit_code_two() {
+    // The acceptance workload: a class-C (unbounded) formula stopped by
+    // `--max-tuples`, still printing sound partial answers.
+    let out = recurs(&[
+        "run",
+        &dataset("unbounded_s9.dl"),
+        "--check",
+        "--engine",
+        "indexed",
+        "--max-tuples",
+        "2",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("truncated: tuple ceiling"), "{text}");
+    assert!(text.contains("subset of the fixpoint"), "{text}");
+    assert!(!text.contains("DISAGREES"), "{text}");
+}
+
+#[test]
+fn zero_timeout_stops_before_any_work_with_exit_code_two() {
+    let out = recurs(&[
+        "run",
+        &dataset("unbounded_s9.dl"),
+        "--engine",
+        "parallel",
+        "--threads",
+        "3",
+        "--timeout-ms",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("truncated: deadline"),
+        "{}",
+        stdout(&out)
+    );
+}
+
+#[test]
+fn iteration_cap_truncates_the_oracle_engine() {
+    let out = recurs(&[
+        "run",
+        &dataset("transitive_closure.dl"),
+        "--engine",
+        "oracle",
+        "--max-iterations",
+        "1",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("truncated: iteration cap"),
+        "{}",
+        stdout(&out)
+    );
+}
+
+#[test]
+fn budget_flags_without_engine_are_a_usage_error() {
+    let out = recurs(&[
+        "run",
+        &dataset("transitive_closure.dl"),
+        "--max-tuples",
+        "5",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("--engine"), "{}", stderr(&out));
+}
+
+#[test]
+fn unreadable_file_exits_one() {
+    let out = recurs(&["run", "no/such/file.dl", "--engine", "indexed"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("cannot read"), "{}", stderr(&out));
+}
+
+#[test]
+fn bad_usage_exits_one() {
+    let out = recurs(&["run", &dataset("transitive_closure.dl"), "--bogus"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("unknown option"), "{}", stderr(&out));
+}
+
+#[test]
+fn invalid_program_exits_one() {
+    // A syntactically valid file with no recursion is rejected by load().
+    let dir = std::env::temp_dir().join("recurs_cli_process_tests");
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("mkdir: {e}"));
+    let path = dir.join("nonrecursive.dl");
+    std::fs::write(&path, "Q(x) :- A(x, x).\nA(1, 1).\n?- Q(1).\n")
+        .unwrap_or_else(|e| panic!("write: {e}"));
+    let out = recurs(&[
+        "run",
+        path.to_string_lossy().as_ref(),
+        "--engine",
+        "indexed",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("invalid program"), "{}", stderr(&out));
+}
+
+#[test]
+fn help_exits_zero_and_documents_exit_codes() {
+    let out = recurs(&["help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    assert!(text.contains("--timeout-ms"), "{text}");
+    assert!(text.contains("EXIT CODES"), "{text}");
+}

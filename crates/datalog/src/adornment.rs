@@ -31,19 +31,29 @@ impl QueryForm {
     /// Parses a pattern such as `"dvv"`.
     ///
     /// # Panics
-    /// Panics on characters other than `d`/`v` (patterns are programmer
-    /// input, not user data).
+    /// Panics on characters other than `d`/`b`/`v`/`f` (patterns are
+    /// programmer input here; use [`QueryForm::try_parse`] for user data).
     pub fn parse(pattern: &str) -> QueryForm {
-        QueryForm(
-            pattern
-                .chars()
-                .map(|c| match c {
-                    'd' | 'b' => ArgBinding::Determined,
-                    'v' | 'f' => ArgBinding::Free,
-                    other => panic!("invalid query-form character `{other}`"),
-                })
-                .collect(),
-        )
+        match QueryForm::try_parse(pattern) {
+            Ok(form) => form,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Parses a pattern such as `"dvv"`, rejecting any character other than
+    /// `d`/`b` (determined) and `v`/`f` (free).
+    pub fn try_parse(pattern: &str) -> Result<QueryForm, String> {
+        pattern
+            .chars()
+            .map(|c| match c {
+                'd' | 'b' => Ok(ArgBinding::Determined),
+                'v' | 'f' => Ok(ArgBinding::Free),
+                other => Err(format!(
+                    "invalid query-form character `{other}` (expected d/b/v/f)"
+                )),
+            })
+            .collect::<Result<_, _>>()
+            .map(QueryForm)
     }
 
     /// Derives the query form of a query atom: constant positions are
@@ -174,10 +184,9 @@ pub fn propagate(rule: &Rule, form: &QueryForm) -> QueryForm {
         .filter_map(|i| rule.head.terms[i].as_var())
         .collect();
     let closure = determined_closure(rule, p, &seed);
-    let rec_atom = rule
-        .body_atoms_of(p)
-        .next()
-        .expect("propagate requires a linear recursive rule");
+    let Some(rec_atom) = rule.body_atoms_of(p).next() else {
+        panic!("propagate requires a linear recursive rule, got {rule}")
+    };
     QueryForm(
         rec_atom
             .terms
@@ -200,12 +209,14 @@ pub fn propagation_trace(
     max_steps: usize,
 ) -> (Vec<QueryForm>, Option<usize>) {
     let mut trace = vec![form.clone()];
+    let mut last = form.clone();
     for _ in 0..max_steps {
-        let next = propagate(rule, trace.last().expect("trace is non-empty"));
+        let next = propagate(rule, &last);
         if let Some(idx) = trace.iter().position(|f| *f == next) {
             trace.push(next);
             return (trace, Some(idx));
         }
+        last = next.clone();
         trace.push(next);
     }
     (trace, None)

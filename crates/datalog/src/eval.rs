@@ -7,6 +7,7 @@
 use crate::algebra::{join, product, select_col_eq, select_eq};
 use crate::database::Database;
 use crate::error::DatalogError;
+use crate::govern::{EvalBudget, Progress, TruncationReason};
 use crate::relation::{Relation, Tuple};
 use crate::rule::{Program, Rule};
 use crate::symbol::Symbol;
@@ -17,14 +18,23 @@ use std::collections::{BTreeSet, HashMap};
 /// Statistics of a fixpoint run, for reports and benchmark assertions.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EvalStats {
-    /// Number of iterations until no new tuple was derived (the last,
-    /// unproductive iteration is counted).
+    /// Number of iterations executed, counting the seeding round (and, on a
+    /// complete run, the last unproductive fixpoint-detection round).
     pub iterations: usize,
     /// Total tuples derived into IDB relations (including exit tuples).
     pub tuples_derived: usize,
-    /// True if the run stopped because of an iteration cap rather than a
-    /// genuine fixpoint.
+    /// True if the run stopped because the budget tripped rather than at a
+    /// genuine fixpoint. (Kept in sync with `truncation`.)
     pub truncated: bool,
+    /// Why the run was truncated, if it was.
+    pub truncation: Option<TruncationReason>,
+}
+
+impl EvalStats {
+    fn truncate(&mut self, reason: TruncationReason) {
+        self.truncated = true;
+        self.truncation = Some(reason);
+    }
 }
 
 /// An intermediate result: a relation whose columns carry the listed
@@ -66,19 +76,26 @@ impl Bindings {
 /// variable selections, then projects onto the first occurrence of each
 /// variable. Returns the distinct variables (in first-occurrence order) and
 /// the normalized relation.
-fn normalize_atom<'a>(atom: &Atom, rel: &'a Relation) -> (Vec<Symbol>, Cow<'a, Relation>) {
-    assert_eq!(
-        atom.arity(),
-        rel.arity(),
-        "atom {atom} used against relation of arity {}",
-        rel.arity()
-    );
+fn normalize_atom<'a>(
+    atom: &Atom,
+    rel: &'a Relation,
+) -> Result<(Vec<Symbol>, Cow<'a, Relation>), DatalogError> {
+    if atom.arity() != rel.arity() {
+        // Reachable from user input: a fact file can load a relation at an
+        // arity that disagrees with the rules, so this is an error, not an
+        // assert.
+        return Err(DatalogError::ArityMismatch {
+            predicate: atom.predicate,
+            expected: rel.arity(),
+            found: atom.arity(),
+        });
+    }
     // Fast path: all arguments are distinct variables — the relation is used
     // as-is, with no selection or projection (and no clone; this runs once
     // per atom per fixpoint iteration, so copies here are the hot path).
     if atom.has_distinct_variables() {
         let vars: Vec<Symbol> = atom.terms.iter().filter_map(Term::as_var).collect();
-        return (vars, Cow::Borrowed(rel));
+        return Ok((vars, Cow::Borrowed(rel)));
     }
     let mut current = rel.clone();
     // Constant selections.
@@ -102,7 +119,7 @@ fn normalize_atom<'a>(atom: &Atom, rel: &'a Relation) -> (Vec<Symbol>, Cow<'a, R
             }
         }
     }
-    (vars, Cow::Owned(crate::algebra::project(&current, &keep)))
+    Ok((vars, Cow::Owned(crate::algebra::project(&current, &keep))))
 }
 
 /// Joins `next` (an atom's normalized relation) into accumulated bindings.
@@ -157,7 +174,7 @@ pub fn eval_body(
             Some(r) => r,
             None => db.require(atom.predicate)?,
         };
-        let (vars, normalized) = normalize_atom(atom, rel);
+        let (vars, normalized) = normalize_atom(atom, rel)?;
         acc = extend_bindings(&acc, &vars, &normalized);
         if acc.rel.is_empty() {
             // Short-circuit: the conjunction is already unsatisfiable.
@@ -294,7 +311,7 @@ fn prepare_variant(
             continue;
         }
         let rel = db.require(atom.predicate)?;
-        let (vars, normalized) = normalize_atom(atom, rel);
+        let (vars, normalized) = normalize_atom(atom, rel)?;
         let mut acc_cols = Vec::new();
         let mut key_cols = Vec::new();
         let mut new_cols = Vec::new();
@@ -346,7 +363,7 @@ impl PreparedVariant {
     /// delta relation, returning derived head tuples.
     fn eval(&self, db: &Database, rule: &Rule, delta: &Relation) -> Result<Relation, DatalogError> {
         let atom = &rule.body[self.delta_pos];
-        let (vars, normalized) = normalize_atom(atom, delta);
+        let (vars, normalized) = normalize_atom(atom, delta)?;
         debug_assert_eq!(vars, self.delta_vars);
         let mut acc = Bindings {
             vars,
@@ -386,7 +403,7 @@ impl PreparedVariant {
                 }
                 PreparedStep::Dynamic { pos } => {
                     let rel = db.require(rule.body[*pos].predicate)?;
-                    let (vars, normalized) = normalize_atom(&rule.body[*pos], rel);
+                    let (vars, normalized) = normalize_atom(&rule.body[*pos], rel)?;
                     acc = extend_bindings(&acc, &vars, &normalized);
                 }
             }
@@ -404,14 +421,42 @@ fn declare_idb(db: &mut Database, program: &Program) -> Result<(), DatalogError>
 
 /// Naive bottom-up fixpoint: every iteration re-evaluates every rule against
 /// the full database. `max_iterations = None` runs to fixpoint.
+///
+/// Iteration/cap semantics are shared with [`semi_naive`] and with
+/// `recurs-engine`: the budget is checked at the *start* of each round, so a
+/// cap of `k` executes at most `k` rounds (the first of which derives the
+/// non-recursive seed tuples).
 pub fn naive(
     db: &mut Database,
     program: &Program,
     max_iterations: Option<usize>,
 ) -> Result<EvalStats, DatalogError> {
+    naive_governed(db, program, &EvalBudget::iteration_cap(max_iterations))
+}
+
+/// [`naive`] under a full [`EvalBudget`]: deadline, tuple/delta/memory
+/// ceilings, and cancellation are checked at every round boundary. An
+/// exhausted budget is not an error — the run returns `Ok` with
+/// [`EvalStats::truncation`] set, and the database holds a sound
+/// under-approximation of the fixpoint.
+pub fn naive_governed(
+    db: &mut Database,
+    program: &Program,
+    budget: &EvalBudget,
+) -> Result<EvalStats, DatalogError> {
+    let governor = budget.start();
     declare_idb(db, program)?;
     let mut stats = EvalStats::default();
     loop {
+        if let Some(reason) = governor.check(Progress {
+            iterations: stats.iterations,
+            tuples: stats.tuples_derived,
+            delta: 0,
+            memory_bytes: db.approx_bytes(),
+        }) {
+            stats.truncate(reason);
+            return Ok(stats);
+        }
         stats.iterations += 1;
         let mut new_tuples = 0usize;
         let mut derived: Vec<(Symbol, Relation)> = Vec::new();
@@ -431,25 +476,56 @@ pub fn naive(
         if new_tuples == 0 {
             return Ok(stats);
         }
-        if let Some(cap) = max_iterations {
-            if stats.iterations >= cap {
-                stats.truncated = true;
-                return Ok(stats);
-            }
-        }
     }
 }
 
 /// Semi-naive bottom-up fixpoint: recursive rules are differentiated so each
 /// iteration only joins against the newly derived delta.
+///
+/// Iteration/cap semantics are shared with [`naive`] and with
+/// `recurs-engine::run_with_kernel`: iteration 1 is the seeding round
+/// (non-recursive rules plus caller-preloaded IDB tuples), and the cap is
+/// checked at the *start* of each recursive round — so a cap of `k` runs the
+/// seeding round plus at most `k - 1` recursive rounds. A capped run that
+/// still has a pending non-empty delta reports
+/// [`TruncationReason::IterationCap`].
 pub fn semi_naive(
     db: &mut Database,
     program: &Program,
     max_iterations: Option<usize>,
 ) -> Result<EvalStats, DatalogError> {
+    semi_naive_governed(db, program, &EvalBudget::iteration_cap(max_iterations))
+}
+
+/// [`semi_naive`] under a full [`EvalBudget`]: the governor is checked at
+/// every iteration boundary (iteration cap, tuple/delta/memory ceilings) and
+/// polled between differentiated rule variants inside an iteration (deadline,
+/// cancellation), so a diverging recursion stops promptly. An exhausted
+/// budget is not an error — the run returns `Ok` with
+/// [`EvalStats::truncation`] set and the database holding a sound
+/// under-approximation of the fixpoint (every derived tuple is a true
+/// consequence of the program; early exit only omits tuples).
+pub fn semi_naive_governed(
+    db: &mut Database,
+    program: &Program,
+    budget: &EvalBudget,
+) -> Result<EvalStats, DatalogError> {
+    let governor = budget.start();
     declare_idb(db, program)?;
     let idb: BTreeSet<Symbol> = program.idb_predicates();
     let mut stats = EvalStats::default();
+
+    // A budget can trip before any work (cancelled token, zero timeout,
+    // zero iteration cap).
+    if let Some(reason) = governor.check(Progress {
+        iterations: 0,
+        tuples: 0,
+        delta: 0,
+        memory_bytes: db.approx_bytes(),
+    }) {
+        stats.truncate(reason);
+        return Ok(stats);
+    }
 
     // Iteration 0: non-recursive rules (no IDB atom in the body) seed the
     // deltas. Recursive rules contribute from iteration 1 on.
@@ -501,9 +577,23 @@ pub fn semi_naive(
         if true_delta.values().all(Relation::is_empty) {
             return Ok(stats);
         }
+        let pending_delta: usize = true_delta.values().map(Relation::len).sum();
+        if let Some(reason) = governor.check(Progress {
+            iterations: stats.iterations,
+            tuples: stats.tuples_derived,
+            delta: pending_delta,
+            memory_bytes: db.approx_bytes(),
+        }) {
+            stats.truncate(reason);
+            return Ok(stats);
+        }
         stats.iterations += 1;
         let mut derived: HashMap<Symbol, Relation> = HashMap::new();
-        for (rule_idx, rule) in program.rules.iter().enumerate() {
+        // Deadline/cancellation tripping between rule variants: the partial
+        // derivations are still merged (a sound under-approximation), then
+        // the run reports truncation.
+        let mut interrupted: Option<TruncationReason> = None;
+        'rules: for (rule_idx, rule) in program.rules.iter().enumerate() {
             let idb_positions: Vec<usize> = rule
                 .body
                 .iter()
@@ -516,6 +606,10 @@ pub fn semi_naive(
             }
             // One differentiated variant per IDB body occurrence.
             for &pos in &idb_positions {
+                if let Some(reason) = governor.poll() {
+                    interrupted = Some(reason);
+                    break 'rules;
+                }
                 let pred = rule.body[pos].predicate;
                 let Some(d) = true_delta.get(&pred) else {
                     continue;
@@ -548,14 +642,12 @@ pub fn semi_naive(
         let added = merge(db, derived);
         stats.tuples_derived += added;
         true_delta = next_delta;
-        if added == 0 {
+        if let Some(reason) = interrupted {
+            stats.truncate(reason);
             return Ok(stats);
         }
-        if let Some(cap) = max_iterations {
-            if stats.iterations >= cap {
-                stats.truncated = true;
-                return Ok(stats);
-            }
+        if added == 0 {
+            return Ok(stats);
         }
     }
 }
@@ -565,7 +657,7 @@ pub fn semi_naive(
 /// query's variables (in first-occurrence order).
 pub fn answer_query(db: &Database, query: &Atom) -> Result<Relation, DatalogError> {
     let rel = db.require(query.predicate)?;
-    let (_, normalized) = normalize_atom(query, rel);
+    let (_, normalized) = normalize_atom(query, rel)?;
     Ok(normalized.into_owned())
 }
 
@@ -632,6 +724,87 @@ mod tests {
         assert!(stats.truncated);
         assert_eq!(stats.iterations, 3);
         assert!(db.require("P").unwrap().len() < 49 * 50 / 2);
+    }
+
+    #[test]
+    fn governed_tuple_ceiling_truncates() {
+        let mut db = chain_db(50);
+        let budget = EvalBudget::unlimited().with_max_tuples(60);
+        let stats = semi_naive_governed(&mut db, &tc_program(), &budget).unwrap();
+        assert_eq!(stats.truncation, Some(TruncationReason::TupleCeiling));
+        assert!(stats.truncated);
+        let fixpoint = {
+            let mut full = chain_db(50);
+            semi_naive(&mut full, &tc_program(), None).unwrap();
+            full.require("P").unwrap().clone()
+        };
+        // Sound under-approximation: every derived tuple is in the fixpoint.
+        for t in db.require("P").unwrap().iter() {
+            assert!(fixpoint.contains(t));
+        }
+        assert!(db.require("P").unwrap().len() < fixpoint.len());
+    }
+
+    #[test]
+    fn governed_zero_timeout_truncates_immediately() {
+        let mut db = chain_db(10);
+        let budget = EvalBudget::unlimited().with_timeout(std::time::Duration::ZERO);
+        let stats = semi_naive_governed(&mut db, &tc_program(), &budget).unwrap();
+        assert_eq!(stats.truncation, Some(TruncationReason::Deadline));
+        assert_eq!(stats.iterations, 0);
+    }
+
+    #[test]
+    fn governed_cancel_truncates() {
+        let mut db = chain_db(10);
+        let token = crate::govern::CancelToken::new();
+        token.cancel();
+        let budget = EvalBudget::unlimited().with_cancel(token);
+        let stats = semi_naive_governed(&mut db, &tc_program(), &budget).unwrap();
+        assert_eq!(stats.truncation, Some(TruncationReason::Cancelled));
+    }
+
+    #[test]
+    fn governed_memory_ceiling_truncates() {
+        let mut db = chain_db(50);
+        let budget = EvalBudget::unlimited().with_max_memory_bytes(1);
+        let stats = semi_naive_governed(&mut db, &tc_program(), &budget).unwrap();
+        assert_eq!(stats.truncation, Some(TruncationReason::MemoryCeiling));
+    }
+
+    #[test]
+    fn governed_delta_ceiling_truncates() {
+        let mut db = chain_db(50);
+        // The seeding round produces a 49-tuple delta; cap per-iteration
+        // deltas below that.
+        let budget = EvalBudget::unlimited().with_max_delta(10);
+        let stats = semi_naive_governed(&mut db, &tc_program(), &budget).unwrap();
+        assert_eq!(stats.truncation, Some(TruncationReason::DeltaCeiling));
+    }
+
+    #[test]
+    fn cap_counts_seeding_round() {
+        // Unified semantics: cap 1 = seeding round only, no recursive round.
+        let mut db = chain_db(10);
+        let stats = semi_naive(&mut db, &tc_program(), Some(1)).unwrap();
+        assert_eq!(stats.iterations, 1);
+        assert!(stats.truncated);
+        assert_eq!(db.require("P").unwrap().len(), 9); // E edges only
+
+        let mut db = chain_db(10);
+        let stats = naive(&mut db, &tc_program(), Some(1)).unwrap();
+        assert_eq!(stats.iterations, 1);
+        assert!(stats.truncated);
+        assert_eq!(db.require("P").unwrap().len(), 9);
+    }
+
+    #[test]
+    fn unlimited_budget_runs_to_fixpoint() {
+        let mut db = chain_db(8);
+        let stats = semi_naive_governed(&mut db, &tc_program(), &EvalBudget::unlimited()).unwrap();
+        assert!(!stats.truncated);
+        assert!(stats.truncation.is_none());
+        assert_eq!(db.require("P").unwrap().len(), 7 * 8 / 2);
     }
 
     #[test]

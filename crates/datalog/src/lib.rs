@@ -37,12 +37,17 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+// Library paths must surface failures as `Err`, never panic on input; unit
+// tests (compiled only under cfg(test)) are exempt. CI runs clippy with
+// `-D warnings`, making this a hard gate.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod adornment;
 pub mod algebra;
 pub mod database;
 pub mod error;
 pub mod eval;
+pub mod govern;
 pub mod order;
 pub mod parser;
 pub mod relation;
@@ -56,6 +61,7 @@ pub mod validate;
 pub use adornment::{ArgBinding, QueryForm};
 pub use database::Database;
 pub use error::{DatalogError, ParseError, ValidationError};
+pub use govern::{CancelToken, EvalBudget, Governor, Outcome, Progress, TruncationReason};
 pub use relation::{Relation, Tuple};
 pub use rule::{LinearRecursion, Program, Rule};
 pub use symbol::Symbol;

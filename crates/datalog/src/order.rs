@@ -40,31 +40,30 @@ pub fn order_atoms(body: &[Atom], db: &Database, pinned_first: Option<usize>) ->
         body[i].variables().filter(|v| bound.contains(v)).count()
     };
 
-    let take = |i: usize,
+    // Removes `remaining[pos]`, appending it to the order and binding its
+    // variables.
+    let take = |pos: usize,
                 order: &mut Vec<usize>,
                 remaining: &mut Vec<usize>,
                 bound: &mut BTreeSet<Symbol>| {
-        let pos = remaining
-            .iter()
-            .position(|&x| x == i)
-            .expect("candidate must be remaining");
-        remaining.remove(pos);
+        let i = remaining.remove(pos);
         order.push(i);
         bound.extend(body[i].variables());
     };
 
     if let Some(p) = pinned_first {
-        take(p, &mut order, &mut remaining, &mut bound);
+        if let Some(pos) = remaining.iter().position(|&x| x == p) {
+            take(pos, &mut order, &mut remaining, &mut bound);
+        }
     }
 
     while !remaining.is_empty() {
         // Prefer: connected to the bound set (or constant-bearing when
         // nothing is bound yet), most selective first.
-        let best = remaining
-            .iter()
-            .copied()
+        let best_pos = (0..remaining.len())
             .max_by(|&a, &b| {
-                let key = |i: usize| {
+                let key = |pos: usize| {
+                    let i = remaining[pos];
                     (
                         shared_with(i, &bound) > 0 || constants_in(i) > 0,
                         shared_with(i, &bound),
@@ -75,8 +74,8 @@ pub fn order_atoms(body: &[Atom], db: &Database, pinned_first: Option<usize>) ->
                 };
                 key(a).cmp(&key(b))
             })
-            .expect("remaining is non-empty");
-        take(best, &mut order, &mut remaining, &mut bound);
+            .unwrap_or(0); // unreachable: the loop guard ensures non-empty
+        take(best_pos, &mut order, &mut remaining, &mut bound);
     }
     order
 }

@@ -193,10 +193,11 @@ impl LinearRecursion {
 
     /// The recursive body atom `P(y1, ..., yn)` of the recursive rule.
     pub fn recursive_body_atom(&self) -> &Atom {
-        self.recursive_rule
-            .body_atoms_of(self.predicate)
-            .next()
-            .expect("linear recursion must contain a recursive body atom")
+        let Some(atom) = self.recursive_rule.body_atoms_of(self.predicate).next() else {
+            // Unreachable: every constructor checks is_linear_recursive().
+            panic!("linear recursion must contain a recursive body atom")
+        };
+        atom
     }
 
     /// The non-recursive body atoms of the recursive rule, in source order.

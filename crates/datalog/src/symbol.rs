@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// An interned string. Two `Symbol`s are equal iff the underlying strings are.
 ///
@@ -38,24 +38,37 @@ struct Interner {
     strings: Vec<&'static str>,
 }
 
-fn interner() -> &'static Mutex<Interner> {
+fn interner() -> MutexGuard<'static, Interner> {
     static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
-    INTERNER.get_or_init(|| {
-        Mutex::new(Interner {
-            map: HashMap::new(),
-            strings: Vec::new(),
+    INTERNER
+        .get_or_init(|| {
+            Mutex::new(Interner {
+                map: HashMap::new(),
+                strings: Vec::new(),
+            })
         })
-    })
+        .lock()
+        // The interner is append-only and every mutation (push + insert) is
+        // consistent at each step, so a lock poisoned by a panicking thread
+        // still guards a valid table — recover it rather than propagate.
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+fn next_id(strings: &[&'static str]) -> u32 {
+    let Ok(id) = u32::try_from(strings.len()) else {
+        panic!("symbol table overflow: more than u32::MAX distinct names")
+    };
+    id
 }
 
 impl Symbol {
     /// Interns `name`, returning its symbol. Idempotent.
     pub fn intern(name: &str) -> Symbol {
-        let mut i = interner().lock().expect("symbol interner poisoned");
+        let mut i = interner();
         if let Some(&id) = i.map.get(name) {
             return Symbol(id);
         }
-        let id = u32::try_from(i.strings.len()).expect("symbol table overflow");
+        let id = next_id(&i.strings);
         let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
         i.strings.push(leaked);
         i.map.insert(leaked, id);
@@ -64,8 +77,7 @@ impl Symbol {
 
     /// The interned string.
     pub fn as_str(self) -> &'static str {
-        let i = interner().lock().expect("symbol interner poisoned");
-        i.strings[self.0 as usize]
+        interner().strings[self.0 as usize]
     }
 
     /// A fresh symbol `base_n` guaranteed distinct from every symbol interned
@@ -74,9 +86,9 @@ impl Symbol {
         loop {
             let candidate = format!("{base}_{counter}");
             *counter += 1;
-            let mut i = interner().lock().expect("symbol interner poisoned");
+            let mut i = interner();
             if !i.map.contains_key(candidate.as_str()) {
-                let id = u32::try_from(i.strings.len()).expect("symbol table overflow");
+                let id = next_id(&i.strings);
                 let leaked: &'static str = Box::leak(candidate.into_boxed_str());
                 i.strings.push(leaked);
                 i.map.insert(leaked, id);

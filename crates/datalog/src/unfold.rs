@@ -89,13 +89,14 @@ pub fn unfold_once_traced(
     counter: &mut u32,
 ) -> UnfoldStep {
     let (renamed, _) = rename_apart(original, counter);
-    let target = prev
-        .body
-        .iter()
-        .find(|a| a.predicate == predicate)
-        .expect("prev must contain the recursive atom");
-    let mgu = unify_atoms(&renamed.head, target)
-        .expect("recursive head must unify with the recursive body atom");
+    let Some(target) = prev.body.iter().find(|a| a.predicate == predicate) else {
+        panic!("prev must contain the recursive atom {predicate}")
+    };
+    let Some(mgu) = unify_atoms(&renamed.head, target) else {
+        // Unreachable: the head's arguments are renamed-apart variables, so
+        // unification is a pure renaming and always succeeds.
+        panic!("recursive head must unify with the recursive body atom")
+    };
     let spliced = mgu.apply_rule(&renamed);
     let result = resolve_recursive_atom(prev, &renamed, predicate);
     UnfoldStep { result, spliced }
@@ -105,14 +106,15 @@ pub fn unfold_once_traced(
 /// (whose head must unify with it), splicing in `clause`'s body. `clause`
 /// must already be variable-disjoint from `prev`.
 pub fn resolve_recursive_atom(prev: &Rule, clause: &Rule, predicate: Symbol) -> Rule {
-    let pos = prev
-        .body
-        .iter()
-        .position(|a| a.predicate == predicate)
-        .expect("prev must contain the recursive atom");
+    let Some(pos) = prev.body.iter().position(|a| a.predicate == predicate) else {
+        panic!("prev must contain the recursive atom {predicate}")
+    };
     let target: &Atom = &prev.body[pos];
-    let mgu = unify_atoms(&clause.head, target)
-        .expect("recursive head must unify with the recursive body atom");
+    let Some(mgu) = unify_atoms(&clause.head, target) else {
+        // Unreachable for rules produced by the unfolder (see above), but a
+        // caller-supplied clause with a constant-bearing head could fail.
+        panic!("head of {clause} must unify with the recursive body atom")
+    };
     let mut body: Vec<Atom> = Vec::with_capacity(prev.body.len() + clause.body.len() - 1);
     for (i, atom) in prev.body.iter().enumerate() {
         if i == pos {
@@ -142,9 +144,11 @@ pub fn resolve_recursive_atom(prev: &Rule, clause: &Rule, predicate: Symbol) -> 
 /// ```
 pub fn expansion(rule: &Rule, k: usize) -> Rule {
     assert!(k >= 1, "expansions are 1-based");
-    Unfolder::new(rule)
-        .nth(k - 1)
-        .expect("unfolder is infinite")
+    match Unfolder::new(rule).nth(k - 1) {
+        Some(expanded) => expanded,
+        // Unreachable: the unfolder's `next` never returns `None`.
+        None => unreachable!("unfolder is infinite"),
+    }
 }
 
 /// Replaces the recursive body atom of `expanded` with the body of the exit

@@ -34,10 +34,10 @@ pub fn validate(program: &Program) -> Result<LinearRecursion, ValidationError> {
             atom: rec.head.to_string(),
         });
     }
-    let body_occurrence = rec
-        .body_atoms_of(p)
-        .next()
-        .expect("occurrence count checked above");
+    let Some(body_occurrence) = rec.body_atoms_of(p).next() else {
+        // Unreachable: occurrences == 1 was checked above.
+        return Err(ValidationError::NoRecursiveRule);
+    };
     if !body_occurrence.has_distinct_variables() {
         return Err(ValidationError::RepeatedVariableUnderRecursivePredicate {
             atom: body_occurrence.to_string(),
@@ -107,12 +107,10 @@ pub fn validate_with_generic_exit(program: &Program) -> Result<LinearRecursion, 
         Ok(lr) => Ok(lr),
         Err(ValidationError::NoExitRule) => {
             let mut with_exit = program.clone();
-            let rec = with_exit
-                .rules
-                .iter()
-                .find(|r| r.is_recursive())
-                .expect("validate found a recursive rule")
-                .clone();
+            let Some(rec) = with_exit.rules.iter().find(|r| r.is_recursive()).cloned() else {
+                // Unreachable: NoExitRule implies validate saw a recursive rule.
+                return Err(ValidationError::NoRecursiveRule);
+            };
             with_exit.rules.push(generic_exit_rule(&rec));
             validate(&with_exit)
         }
@@ -122,20 +120,21 @@ pub fn validate_with_generic_exit(program: &Program) -> Result<LinearRecursion, 
 
 /// Builds the generic exit rule `P(x1,...,xn) :- E(x1,...,xn).` for the head
 /// of the given recursive rule. The exit predicate is named `E` unless that
-/// name is already used by a body predicate, in which case `Exit` is used.
+/// name is already used by a body predicate, in which case `Exit`, `ExitRel`,
+/// `Exit1`, `Exit2`, … are tried until a free name is found.
 pub fn generic_exit_rule(recursive_rule: &crate::rule::Rule) -> crate::rule::Rule {
     use crate::symbol::Symbol;
     use crate::term::Atom;
     let taken: std::collections::BTreeSet<Symbol> =
         recursive_rule.body.iter().map(|a| a.predicate).collect();
-    let e = [
-        Symbol::intern("E"),
-        Symbol::intern("Exit"),
-        Symbol::intern("ExitRel"),
-    ]
-    .into_iter()
-    .find(|s| !taken.contains(s))
-    .expect("one of the candidate exit names must be free");
+    let fixed = ["E", "Exit", "ExitRel"].into_iter().map(Symbol::intern);
+    let numbered = (1u32..).map(|n| Symbol::intern(&format!("Exit{n}")));
+    let mut candidates = fixed.chain(numbered).filter(|s| !taken.contains(s));
+    let e = match candidates.next() {
+        Some(s) => s,
+        // Unreachable: `taken` is finite, the candidate stream is not.
+        None => unreachable!("exit-name candidates are inexhaustible"),
+    };
     crate::rule::Rule::new(
         recursive_rule.head.clone(),
         vec![Atom::new(e, recursive_rule.head.terms.clone())],

@@ -7,9 +7,11 @@
 //! step probes, and the columns each step appends — so the per-iteration
 //! work is pure hash probing with no planning, cloning, or re-indexing.
 
+use crate::error::EngineError;
 use crate::storage::EngineDb;
 use recurs_datalog::database::Database;
 use recurs_datalog::error::DatalogError;
+use recurs_datalog::govern::{Governor, TruncationReason};
 use recurs_datalog::order::order_atoms;
 use recurs_datalog::relation::Tuple;
 use recurs_datalog::rule::Rule;
@@ -267,22 +269,48 @@ impl CompiledRule {
 
     /// Runs the pipeline over the given seed rows, appending derived head
     /// tuples to `out` (with duplicates; the driver dedupes on insert).
+    ///
+    /// If a `governor` is given, its cheap trip conditions (cancellation,
+    /// deadline) are polled every few hundred rows; a trip stops the
+    /// pipeline and returns the reason. Head tuples already appended to
+    /// `out` by earlier pipelines remain valid (every derived tuple is a
+    /// true consequence — an early stop only omits tuples).
     pub fn execute(
         &self,
         db: &EngineDb,
         seed_rows: Vec<Row>,
         counters: &mut ProbeCounters,
+        governor: Option<&Governor>,
         out: &mut Vec<Tuple>,
-    ) {
+    ) -> Result<Option<TruncationReason>, EngineError> {
+        // Polling cadence: cheap enough to keep probe throughput, frequent
+        // enough to stop a blown-up iteration promptly.
+        const POLL_STRIDE: usize = 512;
+        let mut poll_countdown = POLL_STRIDE;
+        let mut poll = move || -> Option<TruncationReason> {
+            let gov = governor?;
+            poll_countdown -= 1;
+            if poll_countdown == 0 {
+                poll_countdown = POLL_STRIDE;
+                gov.poll()
+            } else {
+                None
+            }
+        };
         let mut rows = seed_rows;
         for step in &self.steps {
             let Some(rel) = db.get(step.pred) else {
-                return; // unknown relations are caught at setup
+                return Err(EngineError::Internal(
+                    "compiled rule references a relation the driver never loaded",
+                ));
             };
             let mut next: Vec<Row> = Vec::new();
             if step.index_cols.is_empty() {
                 // Cartesian extension: no shared variable, no constant.
                 for row in &rows {
+                    if let Some(reason) = poll() {
+                        return Ok(Some(reason));
+                    }
                     for t in rel.iter() {
                         if step.eq_checks.iter().all(|&(a, b)| t[a] == t[b]) {
                             let mut r = row.clone();
@@ -294,13 +322,20 @@ impl CompiledRule {
             } else {
                 let mut key: Vec<Value> = Vec::with_capacity(step.key.len());
                 for row in &rows {
+                    if let Some(reason) = poll() {
+                        return Ok(Some(reason));
+                    }
                     key.clear();
                     key.extend(step.key.iter().map(|k| match k {
                         KeyPart::Acc(a) => row[*a],
                         KeyPart::Const(c) => *c,
                     }));
                     counters.probes += 1;
-                    let ids = rel.probe(&step.index_cols, &key);
+                    let Some(ids) = rel.probe(&step.index_cols, &key) else {
+                        return Err(EngineError::Internal(
+                            "compiled rule probed an index the driver never ensured",
+                        ));
+                    };
                     counters.hits += ids.len() as u64;
                     for &id in ids {
                         let t = rel.tuple(id);
@@ -314,7 +349,7 @@ impl CompiledRule {
             }
             rows = next;
             if rows.is_empty() {
-                return;
+                return Ok(None);
             }
         }
         out.extend(rows.iter().map(|row| {
@@ -326,6 +361,7 @@ impl CompiledRule {
                 })
                 .collect::<Tuple>()
         }));
+        Ok(None)
     }
 }
 
@@ -356,7 +392,8 @@ mod tests {
         let rows = seed.rows(edb.get(seed.pred).unwrap().iter());
         let mut out = Vec::new();
         let mut counters = ProbeCounters::default();
-        cr.execute(edb, rows, &mut counters, &mut out);
+        cr.execute(edb, rows, &mut counters, None, &mut out)
+            .unwrap();
         out
     }
 

@@ -1,0 +1,176 @@
+//! Fault injection for robustness tests: worker panics, artificial
+//! slowdowns, and allocation pressure at configurable points.
+//!
+//! Compiled only under `cfg(test)` or the `fault-inject` feature — release
+//! builds without the feature contain none of these hooks. A test arms a
+//! [`FaultPlan`] with [`arm`]; the returned [`FaultGuard`] holds a global
+//! serialization gate (faulty tests must not overlap, the plan is process
+//! global) and disarms the plan on drop, even if the test panics.
+//!
+//! Decisions are made under the plan lock but the injected actions (panic,
+//! sleep) run *outside* it, so an injected panic never poisons the plan
+//! mutex for the next test.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// When injected worker panics fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PanicMode {
+    /// The given worker index panics once (the first time it starts);
+    /// subsequent starts of the same worker run normally. Exercises the
+    /// parallel engine's single-threaded retry.
+    OnceInWorker(usize),
+    /// Every worker start panics, *and* the single-threaded retry panics.
+    /// Exercises the end of the degradation ladder
+    /// ([`crate::EngineError::WorkerPanic`]).
+    Always,
+}
+
+/// One armed fault scenario.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Inject panics into shard workers (and, for [`PanicMode::Always`],
+    /// the retry path).
+    pub panic_mode: Option<PanicMode>,
+    /// Sleep this long at every worker start (simulates a slow worker, for
+    /// deadline tests).
+    pub slowdown: Option<Duration>,
+    /// Extra bytes reported to the engine's memory estimate (simulates
+    /// allocation pressure without actually allocating).
+    pub ballast_bytes: usize,
+}
+
+static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
+static GATE: Mutex<()> = Mutex::new(());
+
+fn plan_lock() -> MutexGuard<'static, Option<FaultPlan>> {
+    PLAN.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Arms `plan` for the duration of the returned guard. Tests that inject
+/// faults are serialized on a global gate; the plan is disarmed when the
+/// guard drops.
+pub fn arm(plan: FaultPlan) -> FaultGuard {
+    let gate = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    *plan_lock() = Some(plan);
+    FaultGuard { _gate: gate }
+}
+
+/// Serializes a non-faulty test against armed fault plans: while the
+/// returned guard lives, no fault plan can be armed (and none is armed).
+/// Parallel-mode tests in the same process as fault tests take this to
+/// avoid absorbing another test's injected fault.
+pub fn quiesce() -> FaultGuard {
+    let gate = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    FaultGuard { _gate: gate }
+}
+
+/// RAII guard of an armed [`FaultPlan`]; see [`arm`].
+#[derive(Debug)]
+pub struct FaultGuard {
+    _gate: MutexGuard<'static, ()>,
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        *plan_lock() = None;
+    }
+}
+
+/// Hook called by each shard worker as it starts an iteration's work. May
+/// sleep and/or panic according to the armed plan.
+pub fn worker_start(worker: usize) {
+    let (do_panic, sleep) = {
+        let mut plan = plan_lock();
+        match plan.as_mut() {
+            None => (false, None),
+            Some(p) => {
+                let do_panic = match p.panic_mode {
+                    Some(PanicMode::OnceInWorker(w)) if w == worker => {
+                        p.panic_mode = None; // consumed
+                        true
+                    }
+                    Some(PanicMode::Always) => true,
+                    _ => false,
+                };
+                (do_panic, p.slowdown)
+            }
+        }
+    };
+    if let Some(d) = sleep {
+        std::thread::sleep(d);
+    }
+    if do_panic {
+        panic!("injected fault: worker {worker} panic");
+    }
+}
+
+/// Hook called at the start of the single-threaded retry after a worker
+/// panic. Panics under [`PanicMode::Always`].
+pub fn retry_start() {
+    let do_panic = {
+        let plan = plan_lock();
+        matches!(
+            plan.as_ref().and_then(|p| p.panic_mode),
+            Some(PanicMode::Always)
+        )
+    };
+    if do_panic {
+        panic!("injected fault: retry panic");
+    }
+}
+
+/// Extra bytes the armed plan adds to the engine's memory estimate.
+pub fn ballast_bytes() -> usize {
+    plan_lock().as_ref().map_or(0, |p| p.ballast_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_disarms_on_drop() {
+        {
+            let _g = arm(FaultPlan {
+                ballast_bytes: 1024,
+                ..FaultPlan::default()
+            });
+            assert_eq!(ballast_bytes(), 1024);
+        }
+        assert_eq!(ballast_bytes(), 0);
+    }
+
+    #[test]
+    fn once_in_worker_is_consumed() {
+        let _g = arm(FaultPlan {
+            panic_mode: Some(PanicMode::OnceInWorker(0)),
+            ..FaultPlan::default()
+        });
+        let first = std::panic::catch_unwind(|| worker_start(0));
+        assert!(first.is_err());
+        // Consumed: the same worker starts cleanly next time, and the plan
+        // mutex is not poisoned.
+        worker_start(0);
+        worker_start(1);
+    }
+
+    #[test]
+    fn always_panics_workers_and_retry() {
+        let _g = arm(FaultPlan {
+            panic_mode: Some(PanicMode::Always),
+            ..FaultPlan::default()
+        });
+        assert!(std::panic::catch_unwind(|| worker_start(3)).is_err());
+        assert!(std::panic::catch_unwind(retry_start).is_err());
+    }
+
+    #[test]
+    fn unarmed_hooks_are_noops() {
+        let _g = quiesce();
+        worker_start(0);
+        retry_start();
+        assert_eq!(ballast_bytes(), 0);
+    }
+}

@@ -119,13 +119,17 @@ mod tests {
         );
         let mut db2 = db1.clone();
         semi_naive(&mut db1, &lr.to_program(), None).unwrap();
-        let stats = run_linear(&mut db2, &lr, &EngineConfig::default()).unwrap();
-        assert_eq!(stats.kernel, Some(KernelKind::BoundedUnroll { rank: 2 }));
+        let sat = run_linear(&mut db2, &lr, &EngineConfig::default()).unwrap();
+        assert_eq!(
+            sat.stats.kernel,
+            Some(KernelKind::BoundedUnroll { rank: 2 })
+        );
         assert_eq!(db1.get("P").unwrap(), db2.get("P").unwrap());
         assert_eq!(db2.get("P").unwrap().len(), 6); // all three rotations of each
-        assert!(!stats.truncated);
+                                                    // A rank-bound stop is completeness, not truncation.
+        assert!(sat.outcome.is_complete());
         // Seed round + exactly rank recursive rounds, no trailing
         // fixpoint-detection iteration (the oracle needs one more).
-        assert_eq!(stats.iteration_count(), 3);
+        assert_eq!(sat.stats.iteration_count(), 3);
     }
 }

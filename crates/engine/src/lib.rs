@@ -21,29 +21,53 @@
 //!   total relation on the main thread, so shared storage stays read-only
 //!   while workers run.
 //! * **Kernels** ([`kernel`]): the dispatcher inspects the formula's
-//!   [`Classification`] — one-directional classes (A1/A3/A5) run the
-//!   frontier kernel, formulas with a proven rank bound (A2/A4/B/D) run
-//!   bounded unrolling that stops at the rank *without fixpoint detection*,
-//!   and everything else (C/E/F) takes the generic semi-naive fallback.
+//!   [`Classification`](recurs_core::Classification) — one-directional
+//!   classes (A1/A3/A5) run the frontier kernel, formulas with a proven rank
+//!   bound (A2/A4/B/D) run bounded unrolling that stops at the rank *without
+//!   fixpoint detection*, and everything else (C/E/F) takes the generic
+//!   semi-naive fallback.
+//!
+//! # Failure semantics
+//!
+//! Every run is governed by the [`EngineConfig::budget`]
+//! ([`recurs_datalog::govern::EvalBudget`]): the driver checks the full
+//! budget at each iteration boundary and kernels poll cancellation/deadline
+//! cooperatively every few hundred rows. A run that stops early returns
+//! `Ok(`[`Saturation`]`)` with [`Outcome::Truncated`] and writes back a
+//! *sound under-approximation* of the fixpoint — every derived tuple is a
+//! true consequence; stopping only omits tuples. Worker panics are
+//! contained: a panicked parallel iteration is retried single-threaded
+//! (workers never mutate shared storage, so the retry is clean), recorded in
+//! [`EngineStats::worker_panics`]/[`EngineStats::degraded_iterations`]; only
+//! if the retry panics too does the run fail with
+//! [`EngineError::WorkerPanic`].
 //!
 //! [`EngineStats`] reports per-iteration timings, delta sizes, index hit
-//! counts, and worker utilization.
+//! counts, worker utilization, and degradation events.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+// Library paths must surface failures as `Err`, never panic on input; unit
+// tests (compiled only under cfg(test)) are exempt. CI runs clippy with
+// `-D warnings`, making this a hard gate.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod compile;
+pub mod error;
+#[cfg(any(test, feature = "fault-inject"))]
+pub mod fault;
 pub mod kernel;
 pub mod stats;
 pub mod storage;
 
+pub use error::{EngineError, Saturation};
 pub use kernel::select_kernel;
 pub use stats::{EngineStats, IterationStats, KernelKind};
 pub use storage::{EngineDb, IndexedRelation};
 
 use compile::{CompiledRule, ProbeCounters, Row};
 use recurs_datalog::database::Database;
-use recurs_datalog::error::DatalogError;
+use recurs_datalog::govern::{EvalBudget, Governor, Outcome, Progress, TruncationReason};
 use recurs_datalog::relation::Tuple;
 use recurs_datalog::rule::{LinearRecursion, Program};
 use recurs_datalog::symbol::Symbol;
@@ -52,9 +76,10 @@ use std::hash::{Hash, Hasher};
 use std::time::Instant;
 
 /// How the engine executes each iteration's joins.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EngineMode {
     /// Single-threaded execution over persistent indexes.
+    #[default]
     Indexed,
     /// Delta-sharded execution on scoped worker threads.
     Parallel {
@@ -73,32 +98,27 @@ impl EngineMode {
 }
 
 /// Engine configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct EngineConfig {
     /// Execution mode.
     pub mode: EngineMode,
-    /// Iteration cap (counting the seeding round); `None` runs to fixpoint.
-    /// A capped stop with work remaining sets [`EngineStats::truncated`].
-    pub max_iterations: Option<usize>,
-}
-
-impl Default for EngineConfig {
-    fn default() -> EngineConfig {
-        EngineConfig {
-            mode: EngineMode::Indexed,
-            max_iterations: None,
-        }
-    }
+    /// Resource budget. The default is unlimited (run to fixpoint); any
+    /// tripped ceiling ends the run with [`Outcome::Truncated`] rather than
+    /// an error. Iteration caps count the seeding round — a cap of `k` runs
+    /// the seeding round plus at most `k - 1` recursive rounds, the same
+    /// definition `recurs_datalog::eval` uses.
+    pub budget: EvalBudget,
 }
 
 /// Saturates `db` with the program's consequences using the kernel selected
 /// from the recursion's classification. IDB relations are written back into
-/// `db` (EDB relations are untouched).
+/// `db` (EDB relations are untouched) — on [`Outcome::Truncated`] runs too,
+/// where they hold a sound under-approximation of the fixpoint.
 pub fn run_linear(
     db: &mut Database,
     lr: &LinearRecursion,
     config: &EngineConfig,
-) -> Result<EngineStats, DatalogError> {
+) -> Result<Saturation, EngineError> {
     let classification = recurs_core::Classification::of(&lr.recursive_rule);
     let kernel = select_kernel(&classification);
     run_with_kernel(db, &lr.to_program(), kernel, config)
@@ -111,9 +131,15 @@ pub fn run_program(
     db: &mut Database,
     program: &Program,
     config: &EngineConfig,
-) -> Result<EngineStats, DatalogError> {
+) -> Result<Saturation, EngineError> {
     run_with_kernel(db, program, KernelKind::Generic, config)
 }
+
+const UNLOADED_RELATION: &str = "compiled rule references a relation the driver never loaded";
+
+/// Derived tuples of one iteration, grouped by head predicate (one entry per
+/// executed rule variant).
+type Derivations = Vec<(Symbol, Vec<Tuple>)>;
 
 /// Saturates `db` with a specific kernel. [`run_linear`] selects the kernel
 /// automatically; this entry point exists for tests and experiments.
@@ -122,7 +148,9 @@ pub fn run_with_kernel(
     program: &Program,
     kernel: KernelKind,
     config: &EngineConfig,
-) -> Result<EngineStats, DatalogError> {
+) -> Result<Saturation, EngineError> {
+    let governor = config.budget.start();
+
     // Declare IDB relations up front (arity checks, like the oracle does).
     for rule in &program.rules {
         db.declare(rule.head.predicate, rule.head.arity())?;
@@ -166,7 +194,7 @@ pub fn run_with_kernel(
             let cols = cols.to_vec();
             storage
                 .get_mut(pred)
-                .expect("all referenced relations were loaded")
+                .ok_or(EngineError::Internal(UNLOADED_RELATION))?
                 .ensure_index(&cols);
         }
     }
@@ -178,139 +206,241 @@ pub fn run_with_kernel(
         ..EngineStats::default()
     };
     let mut counters = ProbeCounters::default();
+    let mut truncation: Option<TruncationReason> = None;
 
-    // Iteration 0: non-recursive rules against the EDB (single-threaded —
-    // seeding is a one-off, the loop below is the hot path).
-    let t0 = Instant::now();
-    let mut candidates: Vec<(Symbol, Vec<Tuple>)> = Vec::new();
-    for cr in &init {
-        let rows = seed_rows_full(cr, &storage);
-        let mut buf = Vec::new();
-        cr.execute(&storage, rows, &mut counters, &mut buf);
-        candidates.push((cr.head_pred, buf));
-    }
-    let derived0: usize = candidates.iter().map(|(_, ts)| ts.len()).sum();
-    let mut ignored = BTreeMap::new();
-    let new0 = merge_candidates(&mut storage, candidates, &mut ignored);
-    stats.tuples_derived += new0;
-    let d0 = t0.elapsed();
-    stats.iterations.push(IterationStats {
-        delta_in: 0,
-        derived: derived0,
-        new_tuples: new0,
-        duration: d0,
-        busy: d0,
-        workers: 1,
-    });
-
-    // The first recursive delta is everything present after iteration 0,
-    // including tuples pre-seeded into IDB relations by the caller (e.g.
-    // magic seeds) — recursive rules must see those too.
-    let mut delta: BTreeMap<Symbol, Vec<Tuple>> = BTreeMap::new();
-    for &pred in &idb {
-        let rel = storage.get(pred).expect("IDB relations are loaded");
-        if !rel.is_empty() {
-            delta.insert(pred, rel.iter().cloned().collect());
+    'run: {
+        // A budget can trip before any work (cancelled token, zero timeout,
+        // zero iteration cap).
+        if let Some(reason) = governor.check(Progress {
+            iterations: 0,
+            tuples: 0,
+            delta: 0,
+            memory_bytes: approx_memory(&storage),
+        }) {
+            truncation = Some(reason);
+            break 'run;
         }
-    }
 
-    let rank_cap = match kernel {
-        KernelKind::BoundedUnroll { rank } => Some(rank),
-        _ => None,
-    };
-    let mut recursive_rounds: u64 = 0;
-    loop {
-        if delta.values().all(Vec::is_empty) {
-            break; // genuine fixpoint
-        }
-        if let Some(rank) = rank_cap {
-            if recursive_rounds >= rank {
-                // Bounded unrolling: the proven rank is reached; the
-                // theorems guarantee nothing new past this point, so stop
-                // without a fixpoint-detection round (not a truncation).
+        // Iteration 0: non-recursive rules against the EDB (single-threaded
+        // — seeding is a one-off, the loop below is the hot path).
+        let t0 = Instant::now();
+        let mut candidates: Vec<(Symbol, Vec<Tuple>)> = Vec::new();
+        let mut interrupted: Option<TruncationReason> = None;
+        for cr in &init {
+            if interrupted.is_some() {
                 break;
             }
+            let rows = seed_rows_full(cr, &storage)?;
+            let mut buf = Vec::new();
+            interrupted = cr.execute(&storage, rows, &mut counters, Some(&governor), &mut buf)?;
+            candidates.push((cr.head_pred, buf));
         }
-        if let Some(cap) = config.max_iterations {
-            if stats.iterations.len() >= cap {
-                stats.truncated = true;
-                break;
-            }
-        }
-        recursive_rounds += 1;
-        let t = Instant::now();
-        let delta_in: usize = delta.values().map(Vec::len).sum();
-
-        // Per-variant seed rows from the current delta.
-        let work: Vec<(usize, Vec<Row>)> = variants
-            .iter()
-            .enumerate()
-            .filter_map(|(i, cr)| {
-                let seed = cr.seed.as_ref()?;
-                let tuples = delta.get(&seed.pred)?;
-                if tuples.is_empty() {
-                    return None;
-                }
-                let rows = seed.rows(tuples.iter());
-                (!rows.is_empty()).then_some((i, rows))
-            })
-            .collect();
-
-        // Single-threaded busy time equals the iteration's wall time by
-        // definition; parallel workers report their own busy durations.
-        let (candidates, busy) = match config.mode {
-            EngineMode::Indexed => {
-                let mut out = Vec::new();
-                for (i, rows) in work {
-                    let mut buf = Vec::new();
-                    variants[i].execute(&storage, rows, &mut counters, &mut buf);
-                    out.push((variants[i].head_pred, buf));
-                }
-                (out, None)
-            }
-            EngineMode::Parallel { .. } => {
-                let (out, busy) = run_sharded(&variants, work, &storage, threads, &mut counters);
-                (out, Some(busy))
-            }
-        };
-
-        let derived: usize = candidates.iter().map(|(_, ts)| ts.len()).sum();
-        let mut next_delta: BTreeMap<Symbol, Vec<Tuple>> = BTreeMap::new();
-        let new = merge_candidates(&mut storage, candidates, &mut next_delta);
-        stats.tuples_derived += new;
-        let duration = t.elapsed();
+        let derived0: usize = candidates.iter().map(|(_, ts)| ts.len()).sum();
+        let mut ignored = BTreeMap::new();
+        let new0 = merge_candidates(&mut storage, candidates, &mut ignored)?;
+        stats.tuples_derived += new0;
+        let d0 = t0.elapsed();
         stats.iterations.push(IterationStats {
-            delta_in,
-            derived,
-            new_tuples: new,
-            duration,
-            busy: busy.unwrap_or(duration),
-            workers: threads,
+            delta_in: 0,
+            derived: derived0,
+            new_tuples: new0,
+            duration: d0,
+            busy: d0,
+            workers: 1,
         });
-        delta = next_delta;
+        if let Some(reason) = interrupted {
+            truncation = Some(reason);
+            break 'run;
+        }
+
+        // The first recursive delta is everything present after iteration 0,
+        // including tuples pre-seeded into IDB relations by the caller (e.g.
+        // magic seeds) — recursive rules must see those too.
+        let mut delta: BTreeMap<Symbol, Vec<Tuple>> = BTreeMap::new();
+        for &pred in &idb {
+            let rel = storage
+                .get(pred)
+                .ok_or(EngineError::Internal(UNLOADED_RELATION))?;
+            if !rel.is_empty() {
+                delta.insert(pred, rel.iter().cloned().collect());
+            }
+        }
+
+        let rank_cap = match kernel {
+            KernelKind::BoundedUnroll { rank } => Some(rank),
+            _ => None,
+        };
+        let mut recursive_rounds: u64 = 0;
+        loop {
+            if delta.values().all(Vec::is_empty) {
+                break; // genuine fixpoint
+            }
+            if let Some(rank) = rank_cap {
+                if recursive_rounds >= rank {
+                    // Bounded unrolling: the proven rank is reached; the
+                    // theorems guarantee nothing new past this point, so
+                    // stop without a fixpoint-detection round (this is
+                    // completeness, not truncation).
+                    break;
+                }
+            }
+            if let Some(reason) = governor.check(Progress {
+                iterations: stats.iterations.len(),
+                tuples: stats.tuples_derived,
+                delta: delta.values().map(Vec::len).sum(),
+                memory_bytes: approx_memory(&storage),
+            }) {
+                truncation = Some(reason);
+                break;
+            }
+            recursive_rounds += 1;
+            let t = Instant::now();
+            let delta_in: usize = delta.values().map(Vec::len).sum();
+            let work = build_work(&variants, &delta);
+
+            // Single-threaded busy time equals the iteration's wall time by
+            // definition; parallel workers report their own busy durations.
+            let (candidates, busy, interrupted) = match config.mode {
+                EngineMode::Indexed => {
+                    let (out, stop) =
+                        run_indexed(&variants, work, &storage, &mut counters, Some(&governor))?;
+                    (out, None, stop)
+                }
+                EngineMode::Parallel { .. } => {
+                    match run_sharded(
+                        &variants,
+                        work,
+                        &storage,
+                        threads,
+                        &mut counters,
+                        Some(&governor),
+                    ) {
+                        Ok((out, busy, stop)) => (out, Some(busy), stop),
+                        Err(ShardFailure::Error(e)) => return Err(e),
+                        Err(ShardFailure::Panic(msg)) => {
+                            // Contain the panic and degrade: workers never
+                            // mutate shared storage, so the iteration can be
+                            // cleanly recomputed from the same delta on the
+                            // single-threaded indexed path.
+                            stats.worker_panics += 1;
+                            let work = build_work(&variants, &delta);
+                            let retried =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    #[cfg(any(test, feature = "fault-inject"))]
+                                    fault::retry_start();
+                                    run_indexed(
+                                        &variants,
+                                        work,
+                                        &storage,
+                                        &mut counters,
+                                        Some(&governor),
+                                    )
+                                }));
+                            match retried {
+                                Ok(result) => {
+                                    let (out, stop) = result?;
+                                    stats.degraded_iterations += 1;
+                                    (out, None, stop)
+                                }
+                                Err(payload) => {
+                                    return Err(EngineError::WorkerPanic {
+                                        iteration: stats.iterations.len() + 1,
+                                        message: panic_message(payload.as_ref()).unwrap_or(msg),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            };
+
+            let derived: usize = candidates.iter().map(|(_, ts)| ts.len()).sum();
+            let mut next_delta: BTreeMap<Symbol, Vec<Tuple>> = BTreeMap::new();
+            let new = merge_candidates(&mut storage, candidates, &mut next_delta)?;
+            stats.tuples_derived += new;
+            let duration = t.elapsed();
+            stats.iterations.push(IterationStats {
+                delta_in,
+                derived,
+                new_tuples: new,
+                duration,
+                busy: busy.unwrap_or(duration),
+                // A degraded (or indexed) iteration ran on one worker.
+                workers: if busy.is_some() { threads } else { 1 },
+            });
+            delta = next_delta;
+            if let Some(reason) = interrupted {
+                truncation = Some(reason);
+                break;
+            }
+        }
     }
 
-    // Write the saturated IDB relations back.
+    // Write the saturated (or truncated-but-sound) IDB relations back.
     for &pred in &idb {
-        let rel = storage.get(pred).expect("IDB relations are loaded");
+        let rel = storage
+            .get(pred)
+            .ok_or(EngineError::Internal(UNLOADED_RELATION))?;
         db.insert_relation(pred, rel.to_relation());
     }
     stats.index = storage.index_counters();
     stats.probes = counters.probes;
     stats.probe_hits = counters.hits;
-    Ok(stats)
+    let outcome = match truncation {
+        None => Outcome::Complete,
+        Some(reason) => Outcome::Truncated(reason),
+    };
+    Ok(Saturation { outcome, stats })
+}
+
+/// The engine's memory estimate for budget enforcement: indexed storage
+/// plus any fault-injected ballast.
+fn approx_memory(storage: &EngineDb) -> usize {
+    #[cfg(any(test, feature = "fault-inject"))]
+    let ballast = fault::ballast_bytes();
+    #[cfg(not(any(test, feature = "fault-inject")))]
+    let ballast = 0;
+    storage.approx_bytes() + ballast
+}
+
+/// Extracts a panic payload's message, if it was a string.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> Option<String> {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+}
+
+/// Per-variant seed rows from the current delta.
+fn build_work(
+    variants: &[CompiledRule],
+    delta: &BTreeMap<Symbol, Vec<Tuple>>,
+) -> Vec<(usize, Vec<Row>)> {
+    variants
+        .iter()
+        .enumerate()
+        .filter_map(|(i, cr)| {
+            let seed = cr.seed.as_ref()?;
+            let tuples = delta.get(&seed.pred)?;
+            if tuples.is_empty() {
+                return None;
+            }
+            let rows = seed.rows(tuples.iter());
+            (!rows.is_empty()).then_some((i, rows))
+        })
+        .collect()
 }
 
 /// Seed rows for a non-differentiated rule: the full stored relation of the
 /// seed atom (or the unit row for an empty body).
-fn seed_rows_full(cr: &CompiledRule, storage: &EngineDb) -> Vec<Row> {
+fn seed_rows_full(cr: &CompiledRule, storage: &EngineDb) -> Result<Vec<Row>, EngineError> {
     match &cr.seed {
-        None => vec![Vec::new()],
+        None => Ok(vec![Vec::new()]),
         Some(seed) => {
             let rel = storage
                 .get(seed.pred)
-                .expect("all referenced relations were loaded");
-            seed.rows(rel.iter())
+                .ok_or(EngineError::Internal(UNLOADED_RELATION))?;
+            Ok(seed.rows(rel.iter()))
         }
     }
 }
@@ -319,12 +449,14 @@ fn seed_rows_full(cr: &CompiledRule, storage: &EngineDb) -> Vec<Row> {
 /// are also appended to `next_delta` keyed by predicate.
 fn merge_candidates(
     storage: &mut EngineDb,
-    candidates: Vec<(Symbol, Vec<Tuple>)>,
+    candidates: Derivations,
     next_delta: &mut BTreeMap<Symbol, Vec<Tuple>>,
-) -> usize {
+) -> Result<usize, EngineError> {
     let mut new = 0usize;
     for (pred, tuples) in candidates {
-        let rel = storage.get_mut(pred).expect("IDB relations are loaded");
+        let rel = storage
+            .get_mut(pred)
+            .ok_or(EngineError::Internal(UNLOADED_RELATION))?;
         for t in tuples {
             if rel.insert(t.clone()) {
                 new += 1;
@@ -332,20 +464,54 @@ fn merge_candidates(
             }
         }
     }
-    new
+    Ok(new)
+}
+
+/// Executes the iteration's work items single-threaded over the indexed
+/// storage; also the retry path after a contained worker panic.
+fn run_indexed(
+    variants: &[CompiledRule],
+    work: Vec<(usize, Vec<Row>)>,
+    storage: &EngineDb,
+    counters: &mut ProbeCounters,
+    governor: Option<&Governor>,
+) -> Result<(Derivations, Option<TruncationReason>), EngineError> {
+    let mut out = Vec::new();
+    let mut stop = None;
+    for (i, rows) in work {
+        let mut buf = Vec::new();
+        let interrupted = variants[i].execute(storage, rows, counters, governor, &mut buf)?;
+        out.push((variants[i].head_pred, buf));
+        if let Some(reason) = interrupted {
+            stop = Some(reason);
+            break;
+        }
+    }
+    Ok((out, stop))
+}
+
+/// Why a sharded iteration failed (as opposed to tripping the budget).
+enum ShardFailure {
+    /// At least one worker panicked; the driver retries single-threaded.
+    Panic(String),
+    /// A worker hit an engine error (retrying cannot help).
+    Error(EngineError),
 }
 
 /// Executes the iteration's work items on `threads` scoped workers. Seed
 /// rows are sharded by the hash of their first join key (falling back to
 /// the whole row), shared storage is read-only, and each worker returns its
-/// own result buffer and probe counters for the main thread to merge.
+/// own result buffer and probe counters for the main thread to merge. A
+/// panicking worker is caught via its join result — the other workers still
+/// finish and the failure is reported to the driver for containment.
 fn run_sharded(
     variants: &[CompiledRule],
     work: Vec<(usize, Vec<Row>)>,
     storage: &EngineDb,
     threads: usize,
     counters: &mut ProbeCounters,
-) -> (Vec<(Symbol, Vec<Tuple>)>, std::time::Duration) {
+    governor: Option<&Governor>,
+) -> Result<(Derivations, std::time::Duration, Option<TruncationReason>), ShardFailure> {
     // shards[w] holds this worker's rows for each work item.
     let mut shards: Vec<Vec<(usize, Vec<Row>)>> = (0..threads)
         .map(|_| Vec::with_capacity(work.len()))
@@ -362,37 +528,69 @@ fn run_sharded(
         }
     }
 
-    let mut out: Vec<(Symbol, Vec<Tuple>)> = Vec::new();
+    let mut out: Derivations = Vec::new();
     let mut busy = std::time::Duration::ZERO;
+    let mut stop: Option<TruncationReason> = None;
+    let mut failure: Option<ShardFailure> = None;
     std::thread::scope(|s| {
         let handles: Vec<_> = shards
             .into_iter()
-            .map(|items| {
+            .enumerate()
+            .map(|(w, items)| {
                 s.spawn(move || {
+                    #[cfg(any(test, feature = "fault-inject"))]
+                    crate::fault::worker_start(w);
+                    #[cfg(not(any(test, feature = "fault-inject")))]
+                    let _ = w;
                     let t = Instant::now();
                     let mut local = ProbeCounters::default();
                     let mut results: Vec<(Symbol, Vec<Tuple>)> = Vec::new();
+                    let mut stop: Option<TruncationReason> = None;
                     for (variant_i, rows) in items {
                         if rows.is_empty() {
                             continue;
                         }
                         let cr = &variants[variant_i];
                         let mut buf = Vec::new();
-                        cr.execute(storage, rows, &mut local, &mut buf);
+                        let interrupted =
+                            cr.execute(storage, rows, &mut local, governor, &mut buf)?;
                         results.push((cr.head_pred, buf));
+                        if interrupted.is_some() {
+                            stop = interrupted;
+                            break;
+                        }
                     }
-                    (results, local, t.elapsed())
+                    Ok::<_, EngineError>((results, local, t.elapsed(), stop))
                 })
             })
             .collect();
         for h in handles {
-            let (results, local, elapsed) = h.join().expect("engine worker panicked");
-            out.extend(results);
-            counters.absorb(local);
-            busy += elapsed;
+            // Manual joins keep a panicking worker from propagating out of
+            // the scope: the panic becomes a join error here instead.
+            match h.join() {
+                Ok(Ok((results, local, elapsed, worker_stop))) => {
+                    out.extend(results);
+                    counters.absorb(local);
+                    busy += elapsed;
+                    if stop.is_none() {
+                        stop = worker_stop;
+                    }
+                }
+                Ok(Err(e)) => {
+                    failure.get_or_insert(ShardFailure::Error(e));
+                }
+                Err(payload) => {
+                    let msg = panic_message(payload.as_ref())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    failure.get_or_insert(ShardFailure::Panic(msg));
+                }
+            }
         }
     });
-    (out, busy)
+    match failure {
+        Some(f) => Err(f),
+        None => Ok((out, busy, stop)),
+    }
 }
 
 /// Deterministic shard assignment for a seed row.
@@ -412,6 +610,7 @@ fn shard_of(row: &Row, shard_cols: &[usize], threads: usize) -> usize {
 mod tests {
     use super::*;
     use recurs_datalog::eval::semi_naive;
+    use recurs_datalog::govern::CancelToken;
     use recurs_datalog::parser::parse_program;
     use recurs_datalog::relation::Relation;
     use recurs_datalog::validate::validate_with_generic_exit;
@@ -432,15 +631,17 @@ mod tests {
         let mut db1 = tc_db(9);
         let mut db2 = tc_db(9);
         semi_naive(&mut db1, &tc_program(), None).unwrap();
-        let stats = run_program(&mut db2, &tc_program(), &EngineConfig::default()).unwrap();
+        let sat = run_program(&mut db2, &tc_program(), &EngineConfig::default()).unwrap();
+        assert!(sat.outcome.is_complete());
         assert_eq!(db1.get("P").unwrap(), db2.get("P").unwrap());
-        assert_eq!(stats.tuples_derived, db2.get("P").unwrap().len());
-        assert!(stats.probes > 0);
-        assert!(stats.index.builds > 0);
+        assert_eq!(sat.stats.tuples_derived, db2.get("P").unwrap().len());
+        assert!(sat.stats.probes > 0);
+        assert!(sat.stats.index.builds > 0);
     }
 
     #[test]
     fn parallel_engine_matches_oracle_on_cycle() {
+        let _q = fault::quiesce(); // don't absorb another test's fault plan
         let mut db1 = Database::new();
         db1.insert_relation("A", Relation::from_pairs([(1, 2), (2, 3), (3, 1)]));
         db1.insert_relation("E", Relation::from_pairs([(1, 2), (2, 3), (3, 1)]));
@@ -448,9 +649,11 @@ mod tests {
         semi_naive(&mut db1, &tc_program(), None).unwrap();
         let cfg = EngineConfig {
             mode: EngineMode::Parallel { threads: 4 },
-            max_iterations: None,
+            budget: EvalBudget::unlimited(),
         };
-        run_program(&mut db2, &tc_program(), &cfg).unwrap();
+        let sat = run_program(&mut db2, &tc_program(), &cfg).unwrap();
+        assert!(sat.outcome.is_complete());
+        assert_eq!(sat.stats.worker_panics, 0);
         assert_eq!(db1.get("P").unwrap(), db2.get("P").unwrap());
         assert_eq!(db2.get("P").unwrap().len(), 9);
     }
@@ -461,9 +664,9 @@ mod tests {
         let mut db1 = tc_db(7);
         let mut db2 = tc_db(7);
         semi_naive(&mut db1, &lr.to_program(), None).unwrap();
-        let stats = run_linear(&mut db2, &lr, &EngineConfig::default()).unwrap();
+        let sat = run_linear(&mut db2, &lr, &EngineConfig::default()).unwrap();
         // TC is class A5 (one-directional): frontier kernel.
-        assert_eq!(stats.kernel, Some(KernelKind::Frontier));
+        assert_eq!(sat.stats.kernel, Some(KernelKind::Frontier));
         assert_eq!(db1.get("P").unwrap(), db2.get("P").unwrap());
     }
 
@@ -472,12 +675,66 @@ mod tests {
         let mut db = tc_db(40);
         let cfg = EngineConfig {
             mode: EngineMode::Indexed,
-            max_iterations: Some(3),
+            budget: EvalBudget::iteration_cap(Some(3)),
         };
-        let stats = run_program(&mut db, &tc_program(), &cfg).unwrap();
-        assert!(stats.truncated);
-        assert_eq!(stats.iteration_count(), 3);
+        let sat = run_program(&mut db, &tc_program(), &cfg).unwrap();
+        assert_eq!(
+            sat.outcome,
+            Outcome::Truncated(TruncationReason::IterationCap)
+        );
+        assert_eq!(sat.stats.iteration_count(), 3);
         assert!(db.get("P").unwrap().len() < 39 * 40 / 2);
+    }
+
+    #[test]
+    fn tuple_ceiling_truncates_with_sound_subset() {
+        let mut db = tc_db(40);
+        let cfg = EngineConfig {
+            mode: EngineMode::Indexed,
+            budget: EvalBudget::unlimited().with_max_tuples(50),
+        };
+        let sat = run_program(&mut db, &tc_program(), &cfg).unwrap();
+        assert_eq!(
+            sat.outcome,
+            Outcome::Truncated(TruncationReason::TupleCeiling)
+        );
+        let mut full = tc_db(40);
+        semi_naive(&mut full, &tc_program(), None).unwrap();
+        let fixpoint = full.get("P").unwrap();
+        for t in db.get("P").unwrap().iter() {
+            assert!(fixpoint.contains(t));
+        }
+        assert!(db.get("P").unwrap().len() < fixpoint.len());
+    }
+
+    #[test]
+    fn cancelled_token_truncates_before_work() {
+        let mut db = tc_db(10);
+        let token = CancelToken::new();
+        token.cancel();
+        let cfg = EngineConfig {
+            mode: EngineMode::Parallel { threads: 2 },
+            budget: EvalBudget::unlimited().with_cancel(token),
+        };
+        let sat = run_program(&mut db, &tc_program(), &cfg).unwrap();
+        assert_eq!(sat.outcome, Outcome::Truncated(TruncationReason::Cancelled));
+        assert_eq!(sat.stats.iteration_count(), 0);
+        // Write-back still happened (with nothing derived).
+        assert!(db.get("P").unwrap().is_empty());
+    }
+
+    #[test]
+    fn memory_ceiling_truncates() {
+        let mut db = tc_db(40);
+        let cfg = EngineConfig {
+            mode: EngineMode::Indexed,
+            budget: EvalBudget::unlimited().with_max_memory_bytes(1),
+        };
+        let sat = run_program(&mut db, &tc_program(), &cfg).unwrap();
+        assert_eq!(
+            sat.outcome,
+            Outcome::Truncated(TruncationReason::MemoryCeiling)
+        );
     }
 
     #[test]
@@ -505,12 +762,52 @@ mod tests {
     #[test]
     fn stats_record_per_iteration_deltas() {
         let mut db = tc_db(5);
-        let stats = run_program(&mut db, &tc_program(), &EngineConfig::default()).unwrap();
+        let sat = run_program(&mut db, &tc_program(), &EngineConfig::default()).unwrap();
         // Chain of 4 edges: the seed round derives 4 tuples, the recursive
         // rounds 3, 2, 1, and a final round finds nothing new.
-        let deltas: Vec<usize> = stats.iterations.iter().map(|i| i.new_tuples).collect();
+        let deltas: Vec<usize> = sat.stats.iterations.iter().map(|i| i.new_tuples).collect();
         assert_eq!(deltas, vec![4, 3, 2, 1, 0]);
-        assert!(stats.iterations.iter().all(|i| i.workers == 1));
-        assert!(stats.worker_utilization() > 0.9);
+        assert!(sat.stats.iterations.iter().all(|i| i.workers == 1));
+        assert!(sat.stats.worker_utilization() > 0.9);
+    }
+
+    #[test]
+    fn single_worker_panic_is_contained_and_retried() {
+        let _g = fault::arm(fault::FaultPlan {
+            panic_mode: Some(fault::PanicMode::OnceInWorker(0)),
+            ..fault::FaultPlan::default()
+        });
+        let mut db1 = tc_db(8);
+        let mut db2 = tc_db(8);
+        semi_naive(&mut db1, &tc_program(), None).unwrap();
+        let cfg = EngineConfig {
+            mode: EngineMode::Parallel { threads: 3 },
+            budget: EvalBudget::unlimited(),
+        };
+        let sat = run_program(&mut db2, &tc_program(), &cfg).unwrap();
+        // The degraded run still reaches the complete, correct fixpoint.
+        assert!(sat.outcome.is_complete());
+        assert_eq!(sat.stats.worker_panics, 1);
+        assert_eq!(sat.stats.degraded_iterations, 1);
+        assert_eq!(db1.get("P").unwrap(), db2.get("P").unwrap());
+    }
+
+    #[test]
+    fn persistent_panics_surface_as_worker_panic_error() {
+        let _g = fault::arm(fault::FaultPlan {
+            panic_mode: Some(fault::PanicMode::Always),
+            ..fault::FaultPlan::default()
+        });
+        let before = tc_db(8);
+        let mut db = before.clone();
+        let cfg = EngineConfig {
+            mode: EngineMode::Parallel { threads: 2 },
+            budget: EvalBudget::unlimited(),
+        };
+        let err = run_program(&mut db, &tc_program(), &cfg).unwrap_err();
+        assert!(matches!(err, EngineError::WorkerPanic { .. }));
+        // No write-back happened: the caller's database is unchanged.
+        assert_eq!(db.get("A").unwrap(), before.get("A").unwrap());
+        assert!(db.get("P").is_none() || db.get("P").unwrap().is_empty());
     }
 }

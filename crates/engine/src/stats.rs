@@ -78,10 +78,11 @@ pub struct EngineStats {
     pub probes: u64,
     /// Tuples returned by those probes (the "hits").
     pub probe_hits: u64,
-    /// True if the run stopped at the caller's iteration cap rather than at
-    /// a fixpoint (a bounded-unroll stop at the proven rank is *not*
-    /// truncation — the theorems guarantee completeness there).
-    pub truncated: bool,
+    /// Shard-worker panics caught and contained by the driver.
+    pub worker_panics: u64,
+    /// Iterations that fell back from parallel to single-threaded indexed
+    /// execution after a contained worker panic.
+    pub degraded_iterations: u64,
 }
 
 impl EngineStats {
@@ -113,7 +114,7 @@ impl EngineStats {
 
     /// One-line summary for CLI output.
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "kernel={} iterations={} derived={} probes={} hits={} index_builds={} index_updates={} utilization={:.0}%",
             self.kernel.map_or_else(|| "?".to_string(), |k| k.label()),
             self.iteration_count(),
@@ -123,7 +124,14 @@ impl EngineStats {
             self.index.builds,
             self.index.updates,
             self.worker_utilization() * 100.0
-        )
+        );
+        if self.worker_panics > 0 {
+            line.push_str(&format!(
+                " worker_panics={} degraded_iterations={}",
+                self.worker_panics, self.degraded_iterations
+            ));
+        }
+        line
     }
 }
 

@@ -97,7 +97,11 @@ impl IndexedRelation {
         if !self.seen.insert(t.clone()) {
             return false;
         }
-        let id = u32::try_from(self.tuples.len()).expect("tuple id overflow");
+        let Ok(id) = u32::try_from(self.tuples.len()) else {
+            // Dense u32 ids are a storage invariant; 2^32 tuples exceeds
+            // every budget this engine runs under.
+            panic!("IndexedRelation overflow: more than u32::MAX tuples");
+        };
         for (cols, index) in &mut self.indexes {
             let key: Box<[Value]> = cols.iter().map(|&c| t[c]).collect();
             index.entry(key).or_default().push(id);
@@ -122,15 +126,13 @@ impl IndexedRelation {
         self.counters.builds += 1;
     }
 
-    /// The ids of tuples whose `cols` projection equals `key`. Requires
-    /// [`ensure_index`](IndexedRelation::ensure_index) to have been called
-    /// for `cols` (compiled rules declare their indexes up front).
-    pub fn probe(&self, cols: &[usize], key: &[Value]) -> &[u32] {
-        let index = self
-            .indexes
-            .get(cols)
-            .expect("probe of an index that was never ensured");
-        index.get(key).map_or(&[], Vec::as_slice)
+    /// The ids of tuples whose `cols` projection equals `key`. Returns
+    /// `None` if no index on `cols` exists (compiled rules declare their
+    /// indexes up front, so the driver treats that as an internal error);
+    /// a present index with no matching key returns `Some(&[])`.
+    pub fn probe(&self, cols: &[usize], key: &[Value]) -> Option<&[u32]> {
+        let index = self.indexes.get(cols)?;
+        Some(index.get(key).map_or(&[], Vec::as_slice))
     }
 
     /// The tuple with the given id.
@@ -156,6 +158,19 @@ impl IndexedRelation {
     /// Number of distinct indexes currently maintained.
     pub fn index_count(&self) -> usize {
         self.indexes.len()
+    }
+
+    /// Approximate working-set bytes: tuple arena plus the dedup set (each
+    /// owns a copy of every tuple) plus index entries. An estimate for
+    /// budget enforcement, not an allocator measurement.
+    pub fn approx_bytes(&self) -> usize {
+        let per_tuple = self.arity * std::mem::size_of::<Value>() + 48;
+        let mut bytes = 2 * self.tuples.len() * per_tuple;
+        for (cols, index) in &self.indexes {
+            bytes += index.len() * (cols.len() * std::mem::size_of::<Value>() + 48);
+            bytes += self.tuples.len() * std::mem::size_of::<u32>();
+        }
+        bytes
     }
 }
 
@@ -210,6 +225,11 @@ impl EngineDb {
     pub fn index_count(&self) -> usize {
         self.rels.values().map(IndexedRelation::index_count).sum()
     }
+
+    /// Sums [`IndexedRelation::approx_bytes`] across all relations.
+    pub fn approx_bytes(&self) -> usize {
+        self.rels.values().map(IndexedRelation::approx_bytes).sum()
+    }
 }
 
 #[cfg(test)]
@@ -236,9 +256,11 @@ mod tests {
     fn ensure_index_then_probe() {
         let mut r = IndexedRelation::from_relation(&Relation::from_pairs([(1, 2), (1, 3), (2, 3)]));
         r.ensure_index(&[0]);
-        assert_eq!(r.probe(&[0], &[v(1)]).len(), 2);
-        assert_eq!(r.probe(&[0], &[v(2)]).len(), 1);
-        assert_eq!(r.probe(&[0], &[v(7)]).len(), 0);
+        assert_eq!(r.probe(&[0], &[v(1)]).unwrap().len(), 2);
+        assert_eq!(r.probe(&[0], &[v(2)]).unwrap().len(), 1);
+        assert_eq!(r.probe(&[0], &[v(7)]).unwrap().len(), 0);
+        // No index on column 1 was ever ensured.
+        assert!(r.probe(&[1], &[v(2)]).is_none());
         assert_eq!(r.counters().builds, 1);
     }
 
@@ -248,7 +270,7 @@ mod tests {
         r.ensure_index(&[1]);
         r.insert(tuple_u64([1, 2]));
         r.insert(tuple_u64([3, 2]));
-        assert_eq!(r.probe(&[1], &[v(2)]).len(), 2);
+        assert_eq!(r.probe(&[1], &[v(2)]).unwrap().len(), 2);
         // Two inserts, one index each: two incremental updates, no rebuild.
         assert_eq!(
             r.counters(),
@@ -269,8 +291,8 @@ mod tests {
         r.insert(tuple_u64([1, 2, 4]));
         r.insert(tuple_u64([1, 5, 3]));
         r.ensure_index(&[0, 1]);
-        assert_eq!(r.probe(&[0, 1], &[v(1), v(2)]).len(), 2);
-        let id = r.probe(&[0, 1], &[v(1), v(5)])[0];
+        assert_eq!(r.probe(&[0, 1], &[v(1), v(2)]).unwrap().len(), 2);
+        let id = r.probe(&[0, 1], &[v(1), v(5)]).unwrap()[0];
         assert_eq!(&r.tuple(id)[..], &[v(1), v(5), v(3)]);
     }
 
