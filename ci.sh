@@ -16,11 +16,13 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 # linted separately because it swaps in the non-test fault hooks.
 echo "==> cargo clippy --features fault-inject (-D warnings)"
 cargo clippy -p recurs-engine --all-targets --features fault-inject --offline -- -D warnings
+cargo clippy -p recurs-serve --all-targets --features fault-inject --offline -- -D warnings
 
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
 echo "==> cargo test fault-injection suite"
 cargo test -p recurs-engine --features fault-inject --offline -q
+cargo test -p recurs-serve --features fault-inject --offline -q
 
 echo "==> OK"

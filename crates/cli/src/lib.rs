@@ -1,5 +1,6 @@
 //! Library backing the `recurs` command-line tool: argument parsing, file
-//! loading, and the three commands (`classify`, `plan`, `run`, `figure`).
+//! loading, and the commands (`classify`, `plan`, `run`, `figure`, `serve`,
+//! `batch`).
 //!
 //! The CLI reads a single source file holding a recursive formula, optional
 //! facts, and optional queries:
@@ -24,6 +25,7 @@ use recurs_core::plan::plan_query;
 use recurs_core::report::{classification_report, plan_report};
 use recurs_datalog::adornment::QueryForm;
 use recurs_datalog::eval::{answer_query, semi_naive, semi_naive_governed};
+use recurs_datalog::fingerprint;
 use recurs_datalog::govern::{CancelToken, EvalBudget, Outcome};
 use recurs_datalog::parser::parse;
 use recurs_datalog::rule::LinearRecursion;
@@ -86,7 +88,7 @@ pub enum Command {
         forms: Vec<String>,
     },
     /// `recurs run <file> [--check] [--engine E] [--threads N]
-    /// [--timeout-ms T] [--max-tuples N] [--max-iterations K]`
+    /// [--timeout-ms T] [--max-tuples N] [--max-iterations K] [--stats-json]`
     Run {
         /// Source file path.
         file: String,
@@ -102,6 +104,9 @@ pub enum Command {
         max_tuples: Option<usize>,
         /// Iteration cap (requires `--engine`).
         max_iterations: Option<usize>,
+        /// Also print the saturation statistics as one JSON line
+        /// (requires `--engine`).
+        stats_json: bool,
     },
     /// `recurs figure <file> [--levels k] [--dot]`
     Figure {
@@ -112,8 +117,123 @@ pub enum Command {
         /// Also emit Graphviz DOT.
         dot: bool,
     },
+    /// `recurs serve <file> --stdin [service options]`
+    Serve {
+        /// Source file path (formula + initial facts).
+        file: String,
+        /// Service sizing and per-query budget.
+        opts: ServiceOpts,
+    },
+    /// `recurs batch <file> [--repeat N] [--stats-json] [service options]`
+    Batch {
+        /// Source file path (formula + facts + `?-` queries).
+        file: String,
+        /// How many times to ask each query (later rounds exercise the cache).
+        repeat: usize,
+        /// Append the service-wide statistics as one JSON line.
+        stats_json: bool,
+        /// Service sizing and per-query budget.
+        opts: ServiceOpts,
+    },
     /// `recurs help`
     Help,
+}
+
+/// Options shared by `serve` and `batch`: how the query service is sized and
+/// what per-query budget it enforces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceOpts {
+    /// Worker threads for saturating kernels; 1 runs the indexed engine.
+    pub threads: usize,
+    /// Disable the saturation cache.
+    pub no_cache: bool,
+    /// Saturation-cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Maximum concurrent evaluations.
+    pub max_concurrent: usize,
+    /// Per-query wall-clock budget in milliseconds.
+    pub timeout_ms: Option<u64>,
+    /// Per-query derived-tuple ceiling.
+    pub max_tuples: Option<usize>,
+    /// Per-query iteration cap.
+    pub max_iterations: Option<usize>,
+}
+
+impl Default for ServiceOpts {
+    fn default() -> ServiceOpts {
+        ServiceOpts {
+            threads: 1,
+            no_cache: false,
+            cache_capacity: 1024,
+            max_concurrent: 4,
+            timeout_ms: None,
+            max_tuples: None,
+            max_iterations: None,
+        }
+    }
+}
+
+impl ServiceOpts {
+    /// Consumes one service flag at `rest[i]`, returning the new index, or
+    /// `None` if the flag is not a service option.
+    fn consume(&mut self, rest: &[&String], i: usize) -> Result<Option<usize>, String> {
+        let parse_num = |flag: &str| -> Result<usize, String> {
+            let n = rest
+                .get(i + 1)
+                .ok_or_else(|| format!("{flag} needs a number"))?;
+            n.parse()
+                .map_err(|_| format!("invalid value `{n}` for {flag}"))
+        };
+        match rest[i].as_str() {
+            "--threads" => {
+                self.threads = parse_num("--threads")?;
+                if self.threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                Ok(Some(i + 2))
+            }
+            "--no-cache" => {
+                self.no_cache = true;
+                Ok(Some(i + 1))
+            }
+            "--cache-capacity" => {
+                self.cache_capacity = parse_num("--cache-capacity")?;
+                Ok(Some(i + 2))
+            }
+            "--max-concurrent" => {
+                self.max_concurrent = parse_num("--max-concurrent")?;
+                if self.max_concurrent == 0 {
+                    return Err("--max-concurrent must be at least 1".into());
+                }
+                Ok(Some(i + 2))
+            }
+            "--timeout-ms" => {
+                self.timeout_ms = Some(parse_num("--timeout-ms")? as u64);
+                Ok(Some(i + 2))
+            }
+            "--max-tuples" => {
+                self.max_tuples = Some(parse_num("--max-tuples")?);
+                Ok(Some(i + 2))
+            }
+            "--max-iterations" => {
+                self.max_iterations = Some(parse_num("--max-iterations")?);
+                Ok(Some(i + 2))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// The per-query [`EvalBudget`] these options describe.
+    pub fn budget(&self) -> EvalBudget {
+        let mut budget = EvalBudget::iteration_cap(self.max_iterations);
+        if let Some(ms) = self.timeout_ms {
+            budget = budget.with_timeout(Duration::from_millis(ms));
+        }
+        if let Some(n) = self.max_tuples {
+            budget = budget.with_max_tuples(n);
+        }
+        budget
+    }
 }
 
 /// Usage text.
@@ -132,6 +252,20 @@ USAGE:
                                            budget the saturation (with --engine);
                                            a budgeted-out run prints the sound
                                            partial answers and exits with code 2
+                      [--stats-json]       also print the saturation statistics
+                                           as one JSON line (with --engine)
+
+    recurs serve <file> --stdin            serve queries over stdin/stdout: one
+                                           request per line (?- P(1, y). / +A(1, 2).
+                                           / !stats / !snapshot / !quit), one JSON
+                                           reply per line
+    recurs batch <file> [--repeat N]       answer the file's ?- queries through
+                                           the query service (repeat to exercise
+                                           the cache) [--stats-json: append the
+                                           service statistics as one JSON line]
+        serve/batch options: [--threads N] [--no-cache] [--cache-capacity N]
+                             [--max-concurrent N] [--timeout-ms T]
+                             [--max-tuples N] [--max-iterations K]
 
     recurs figure <file> [--levels K] [--dot]
                                            print I-graph / resolution graphs
@@ -187,12 +321,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut timeout_ms = None;
             let mut max_tuples = None;
             let mut max_iterations = None;
+            let mut stats_json = false;
             let rest: Vec<&String> = it.collect();
             let mut i = 0;
             while i < rest.len() {
                 match rest[i].as_str() {
                     "--check" => {
                         check = true;
+                        i += 1;
+                    }
+                    "--stats-json" => {
+                        stats_json = true;
                         i += 1;
                     }
                     "--engine" => {
@@ -243,6 +382,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         .into(),
                 );
             }
+            if stats_json && engine.is_none() {
+                return Err("--stats-json reports saturation statistics; \
+                     pick an engine with --engine oracle|indexed|parallel"
+                    .into());
+            }
             Ok(Command::Run {
                 file: file.clone(),
                 check,
@@ -251,6 +395,64 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 timeout_ms,
                 max_tuples,
                 max_iterations,
+                stats_json,
+            })
+        }
+        "serve" => {
+            let file = it.next().ok_or("serve needs a file argument")?;
+            let mut stdin = false;
+            let mut opts = ServiceOpts::default();
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                if rest[i] == "--stdin" {
+                    stdin = true;
+                    i += 1;
+                } else if let Some(next) = opts.consume(&rest, i)? {
+                    i = next;
+                } else {
+                    return Err(format!("unknown option `{}`", rest[i]));
+                }
+            }
+            if !stdin {
+                return Err("serve reads requests from standard input; pass --stdin".into());
+            }
+            Ok(Command::Serve {
+                file: file.clone(),
+                opts,
+            })
+        }
+        "batch" => {
+            let file = it.next().ok_or("batch needs a file argument")?;
+            let mut repeat = 1usize;
+            let mut stats_json = false;
+            let mut opts = ServiceOpts::default();
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                if rest[i] == "--repeat" {
+                    let n = rest.get(i + 1).ok_or("--repeat needs a number")?;
+                    repeat = n
+                        .parse()
+                        .map_err(|_| format!("invalid repeat count `{n}`"))?;
+                    if repeat == 0 {
+                        return Err("--repeat must be at least 1".into());
+                    }
+                    i += 2;
+                } else if rest[i] == "--stats-json" {
+                    stats_json = true;
+                    i += 1;
+                } else if let Some(next) = opts.consume(&rest, i)? {
+                    i = next;
+                } else {
+                    return Err(format!("unknown option `{}`", rest[i]));
+                }
+            }
+            Ok(Command::Batch {
+                file: file.clone(),
+                repeat,
+                stats_json,
+                opts,
             })
         }
         "figure" => {
@@ -327,6 +529,48 @@ pub fn load(source: &str) -> Result<Loaded, String> {
         db,
         queries: parsed.queries,
     })
+}
+
+/// Builds a [`recurs_serve::QueryService`] from a source text and service
+/// options, returning the file's `?-` queries alongside it.
+pub fn build_service(
+    source: &str,
+    opts: &ServiceOpts,
+) -> Result<(recurs_serve::QueryService, Vec<Atom>), String> {
+    let loaded = load(source)?;
+    let config = recurs_serve::ServeConfig {
+        max_concurrent: opts.max_concurrent,
+        cache_capacity: if opts.no_cache {
+            0
+        } else {
+            opts.cache_capacity
+        },
+        budget: opts.budget(),
+        mode: if opts.threads > 1 {
+            EngineMode::Parallel {
+                threads: opts.threads,
+            }
+        } else {
+            EngineMode::Indexed
+        },
+        ..recurs_serve::ServeConfig::default()
+    };
+    Ok((
+        recurs_serve::QueryService::new(loaded.lr, loaded.db, config),
+        loaded.queries,
+    ))
+}
+
+/// Runs the `serve --stdin` line protocol over arbitrary IO: one request per
+/// input line, one JSON reply per output line. Returns on EOF or `!quit`.
+pub fn serve_on_source(
+    source: &str,
+    opts: &ServiceOpts,
+    input: impl std::io::BufRead,
+    output: impl std::io::Write,
+) -> Result<(), String> {
+    let (service, _queries) = build_service(source, opts)?;
+    recurs_serve::protocol::run_loop(&service, input, output).map_err(|e| format!("serve IO: {e}"))
 }
 
 /// Prints one query's answer set under a `[label]` header.
@@ -413,11 +657,22 @@ pub fn execute(
             timeout_ms,
             max_tuples,
             max_iterations,
+            stats_json,
             ..
         } => {
             let loaded = load(source)?;
             if loaded.queries.is_empty() {
                 return Err("no ?- queries in the file".into());
+            }
+            if *check {
+                // Say exactly which program/database version this check run
+                // certifies, so reports stay comparable across edits.
+                let _ = writeln!(
+                    out,
+                    "check: program={} db={}",
+                    fingerprint::of_program(&loaded.lr.to_program()),
+                    fingerprint::of_database(&loaded.db)
+                );
             }
             match engine {
                 None => {
@@ -460,7 +715,7 @@ pub fn execute(
                         budget = budget.with_cancel(token);
                     }
                     let mut db = loaded.db.clone();
-                    let label = match choice {
+                    let (label, stats_line) = match choice {
                         EngineChoice::Oracle => {
                             let stats =
                                 semi_naive_governed(&mut db, &loaded.lr.to_program(), &budget)
@@ -468,7 +723,10 @@ pub fn execute(
                             if let Some(reason) = stats.truncation {
                                 outcome = Outcome::Truncated(reason);
                             }
-                            format!("engine:oracle iterations={}", stats.iterations)
+                            (
+                                format!("engine:oracle iterations={}", stats.iterations),
+                                stats_json.then(|| serde::json::to_string(&stats)),
+                            )
                         }
                         EngineChoice::Indexed | EngineChoice::Parallel => {
                             let config = EngineConfig {
@@ -483,11 +741,14 @@ pub fn execute(
                             let sat = recurs_engine::run_linear(&mut db, &loaded.lr, &config)
                                 .map_err(|e| format!("engine failed: {e}"))?;
                             outcome = sat.outcome;
-                            format!(
-                                "engine:{} kernel:{} iterations={}",
-                                choice.label(),
-                                sat.stats.kernel.map_or_else(|| "?".into(), |k| k.label()),
-                                sat.stats.iteration_count()
+                            (
+                                format!(
+                                    "engine:{} kernel:{} iterations={}",
+                                    choice.label(),
+                                    sat.stats.kernel.map_or_else(|| "?".into(), |k| k.label()),
+                                    sat.stats.iteration_count()
+                                ),
+                                stats_json.then(|| serde::json::to_string(&sat)),
                             )
                         }
                     };
@@ -547,7 +808,50 @@ pub fn execute(
                             "truncated: {reason} (answers are a sound under-approximation)"
                         );
                     }
+                    if let Some(json) = stats_line {
+                        let _ = writeln!(out, "{json}");
+                    }
                 }
+            }
+        }
+        Command::Serve { .. } => {
+            return Err(
+                "serve streams requests from standard input; run it from the recurs binary \
+                 with --stdin"
+                    .into(),
+            );
+        }
+        Command::Batch {
+            repeat,
+            stats_json,
+            opts,
+            ..
+        } => {
+            let (service, queries) = build_service(source, opts)?;
+            if queries.is_empty() {
+                return Err("no ?- queries in the file".into());
+            }
+            for _round in 0..*repeat {
+                for query in &queries {
+                    let reply = service
+                        .query(query)
+                        .map_err(|e| format!("query failed: {e}"))?;
+                    let label = format!(
+                        "serve kernel:{} cache:{} v{}",
+                        reply.stats.kernel.label(),
+                        reply.stats.cache.label(),
+                        reply.stats.snapshot_version
+                    );
+                    write_answers(&mut out, query, &label, &reply.answers);
+                    if let Some(reason) = reply.outcome.truncation() {
+                        outcome = Outcome::Truncated(reason);
+                        let _ = writeln!(out, "  truncated: {reason} (sound subset)");
+                    }
+                }
+            }
+            if *stats_json {
+                out.push_str(&service.stats_json());
+                out.push('\n');
             }
         }
         Command::Figure { levels, dot, .. } => {
@@ -608,6 +912,7 @@ E(1, 2). E(2, 3). E(2, 4).
                 timeout_ms: None,
                 max_tuples: None,
                 max_iterations: None,
+                stats_json: false,
             }
         );
         assert_eq!(
@@ -628,6 +933,7 @@ E(1, 2). E(2, 3). E(2, 4).
                 timeout_ms: None,
                 max_tuples: None,
                 max_iterations: None,
+                stats_json: false,
             }
         );
         assert!(parse_args(&args(&["run", "f.dl", "--engine", "warp"])).is_err());
@@ -671,6 +977,7 @@ E(1, 2). E(2, 3). E(2, 4).
                 timeout_ms: Some(250),
                 max_tuples: Some(100),
                 max_iterations: Some(7),
+                stats_json: false,
             }
         );
         // Budget flags without an engine are a usage error.
@@ -693,6 +1000,7 @@ E(1, 2). E(2, 3). E(2, 4).
             timeout_ms: None,
             max_tuples,
             max_iterations,
+            stats_json: false,
         }
     }
 
@@ -777,6 +1085,7 @@ E(1, 2). E(2, 3). E(2, 4).
                 timeout_ms: None,
                 max_tuples: None,
                 max_iterations: None,
+                stats_json: false,
             },
             TC,
         )
@@ -800,6 +1109,7 @@ E(1, 2). E(2, 3). E(2, 4).
                 timeout_ms: None,
                 max_tuples: None,
                 max_iterations: None,
+                stats_json: false,
             },
             TC,
         )
@@ -818,6 +1128,7 @@ E(1, 2). E(2, 3). E(2, 4).
                     timeout_ms: None,
                     max_tuples: None,
                     max_iterations: None,
+                    stats_json: false,
                 },
                 TC,
             )
@@ -839,6 +1150,7 @@ E(1, 2). E(2, 3). E(2, 4).
                 timeout_ms: None,
                 max_tuples: None,
                 max_iterations: None,
+                stats_json: false,
             },
             TC,
         )
@@ -908,6 +1220,7 @@ E(1, 2). E(2, 3). E(2, 4).
                 timeout_ms: None,
                 max_tuples: None,
                 max_iterations: None,
+                stats_json: false,
             },
             "P(x, y) :- A(x, z), P(z, y).\nP(x, y) :- E(x, y).",
         )
@@ -929,10 +1242,232 @@ E(1, 2). E(2, 3). E(2, 4).
                 timeout_ms: None,
                 max_tuples: None,
                 max_iterations: None,
+                stats_json: false,
             },
             src,
         )
         .unwrap();
         assert!(out.contains("(0 answers)"), "{out}");
+    }
+
+    #[test]
+    fn parse_args_serve_and_batch() {
+        assert_eq!(
+            parse_args(&args(&["serve", "f.dl", "--stdin"])).unwrap(),
+            Command::Serve {
+                file: "f.dl".into(),
+                opts: ServiceOpts::default(),
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&[
+                "serve",
+                "f.dl",
+                "--stdin",
+                "--threads",
+                "3",
+                "--no-cache",
+                "--max-tuples",
+                "9"
+            ]))
+            .unwrap(),
+            Command::Serve {
+                file: "f.dl".into(),
+                opts: ServiceOpts {
+                    threads: 3,
+                    no_cache: true,
+                    max_tuples: Some(9),
+                    ..ServiceOpts::default()
+                },
+            }
+        );
+        // serve is stdin-only for now; forgetting the flag is a usage error.
+        let err = parse_args(&args(&["serve", "f.dl"])).unwrap_err();
+        assert!(err.contains("--stdin"), "{err}");
+        assert!(parse_args(&args(&["serve", "f.dl", "--stdin", "--threads", "0"])).is_err());
+
+        assert_eq!(
+            parse_args(&args(&[
+                "batch",
+                "f.dl",
+                "--repeat",
+                "3",
+                "--stats-json",
+                "--cache-capacity",
+                "64"
+            ]))
+            .unwrap(),
+            Command::Batch {
+                file: "f.dl".into(),
+                repeat: 3,
+                stats_json: true,
+                opts: ServiceOpts {
+                    cache_capacity: 64,
+                    ..ServiceOpts::default()
+                },
+            }
+        );
+        assert!(parse_args(&args(&["batch", "f.dl", "--repeat", "0"])).is_err());
+        assert!(parse_args(&args(&["batch", "f.dl", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn run_stats_json_requires_an_engine() {
+        let err = parse_args(&args(&["run", "f.dl", "--stats-json"])).unwrap_err();
+        assert!(err.contains("--engine"), "{err}");
+        assert_eq!(
+            parse_args(&args(&[
+                "run",
+                "f.dl",
+                "--engine",
+                "indexed",
+                "--stats-json"
+            ]))
+            .unwrap(),
+            Command::Run {
+                file: "f.dl".into(),
+                check: false,
+                engine: Some(EngineChoice::Indexed),
+                threads: 2,
+                timeout_ms: None,
+                max_tuples: None,
+                max_iterations: None,
+                stats_json: true,
+            }
+        );
+    }
+
+    #[test]
+    fn run_stats_json_emits_saturation_statistics() {
+        for choice in [EngineChoice::Oracle, EngineChoice::Indexed] {
+            let out = run_on_source(
+                &Command::Run {
+                    file: String::new(),
+                    check: false,
+                    engine: Some(choice),
+                    threads: 2,
+                    timeout_ms: None,
+                    max_tuples: None,
+                    max_iterations: None,
+                    stats_json: true,
+                },
+                TC,
+            )
+            .unwrap();
+            let json = out
+                .lines()
+                .find(|l| l.starts_with('{'))
+                .unwrap_or_else(|| panic!("no JSON line from {}: {out}", choice.label()));
+            assert!(json.contains("\"iterations\""), "{json}");
+            assert!(json.contains("\"tuples_derived\""), "{json}");
+        }
+    }
+
+    #[test]
+    fn run_check_reports_fingerprints() {
+        let out = run_on_source(
+            &Command::Run {
+                file: String::new(),
+                check: true,
+                engine: None,
+                threads: 2,
+                timeout_ms: None,
+                max_tuples: None,
+                max_iterations: None,
+                stats_json: false,
+            },
+            TC,
+        )
+        .unwrap();
+        let line = out
+            .lines()
+            .find(|l| l.starts_with("check: "))
+            .unwrap_or_else(|| panic!("no check line: {out}"));
+        assert!(line.contains("program="), "{line}");
+        assert!(line.contains("db="), "{line}");
+        // 16 hex digits each, and stable across runs.
+        let again = run_on_source(
+            &Command::Run {
+                file: String::new(),
+                check: true,
+                engine: None,
+                threads: 2,
+                timeout_ms: None,
+                max_tuples: None,
+                max_iterations: None,
+                stats_json: false,
+            },
+            TC,
+        )
+        .unwrap();
+        assert!(again.contains(line), "fingerprints must be deterministic");
+    }
+
+    #[test]
+    fn batch_answers_match_run_and_second_round_hits_the_cache() {
+        let cmd = Command::Batch {
+            file: String::new(),
+            repeat: 2,
+            stats_json: true,
+            opts: ServiceOpts::default(),
+        };
+        let out = run_on_source(&cmd, TC).unwrap();
+        // Same answer rows as the plan-driven run.
+        assert!(out.contains("(3 answers)"), "{out}");
+        assert!(out.contains("yes"), "{out}");
+        assert!(out.contains("no"), "{out}");
+        // Bound TC queries dispatch to the magic kernel; the first round
+        // misses, the repeat round hits.
+        assert!(out.contains("kernel:magic"), "{out}");
+        assert!(out.contains("cache:miss"), "{out}");
+        assert!(out.contains("cache:hit"), "{out}");
+        // The closing stats line is one JSON object.
+        let json = out.lines().last().unwrap_or_default();
+        assert!(json.starts_with('{'), "{out}");
+        assert!(json.contains("\"queries\":6"), "{json}");
+        assert!(json.contains("\"hits\":3"), "{json}");
+    }
+
+    #[test]
+    fn batch_without_cache_never_hits() {
+        let cmd = Command::Batch {
+            file: String::new(),
+            repeat: 2,
+            stats_json: false,
+            opts: ServiceOpts {
+                no_cache: true,
+                ..ServiceOpts::default()
+            },
+        };
+        let out = run_on_source(&cmd, TC).unwrap();
+        assert!(out.contains("cache:bypass"), "{out}");
+        assert!(!out.contains("cache:hit"), "{out}");
+    }
+
+    #[test]
+    fn serve_on_source_speaks_the_line_protocol() {
+        let input = b"?- P(1, y).\n+A(4, 5).\n+E(4, 5).\n?- P(1, y).\n!quit\n" as &[u8];
+        let mut output = Vec::new();
+        serve_on_source(TC, &ServiceOpts::default(), input, &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "{text}");
+        assert!(lines[0].contains("\"count\":3"), "{text}");
+        assert!(lines[1].contains("\"version\":1"), "{text}");
+        assert!(lines[2].contains("\"version\":2"), "{text}");
+        assert!(lines[3].contains("\"count\":4"), "{text}");
+    }
+
+    #[test]
+    fn serve_command_is_rejected_by_the_buffered_executor() {
+        let err = run_on_source(
+            &Command::Serve {
+                file: String::new(),
+                opts: ServiceOpts::default(),
+            },
+            TC,
+        )
+        .unwrap_err();
+        assert!(err.contains("--stdin"), "{err}");
     }
 }

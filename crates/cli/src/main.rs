@@ -48,7 +48,9 @@ fn main() {
         Command::Classify { file }
         | Command::Plan { file, .. }
         | Command::Run { file, .. }
-        | Command::Figure { file, .. } => match std::fs::read_to_string(file) {
+        | Command::Figure { file, .. }
+        | Command::Serve { file, .. }
+        | Command::Batch { file, .. } => match std::fs::read_to_string(file) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("error: cannot read {file}: {e}");
@@ -58,6 +60,17 @@ fn main() {
     };
     if matches!(cmd, Command::Help) {
         println!("{USAGE}");
+        return;
+    }
+    if let Command::Serve { opts, .. } = &cmd {
+        // Streaming command: replies go out line by line, so it bypasses the
+        // buffered `execute` path.
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        if let Err(e) = recurs_cli::serve_on_source(&source, opts, stdin.lock(), stdout.lock()) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
         return;
     }
     let token = CancelToken::new();

@@ -18,6 +18,7 @@ fn run_cmd(check: bool, engine: Option<EngineChoice>) -> Command {
         timeout_ms: None,
         max_tuples: None,
         max_iterations: None,
+        stats_json: false,
     }
 }
 

@@ -37,6 +37,17 @@ impl EvalStats {
     }
 }
 
+impl serde::Serialize for EvalStats {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::object([
+            ("iterations", self.iterations.to_value()),
+            ("tuples_derived", self.tuples_derived.to_value()),
+            ("truncated", self.truncated.to_value()),
+            ("truncation", self.truncation.to_value()),
+        ])
+    }
+}
+
 /// An intermediate result: a relation whose columns carry the listed
 /// variables (positional algebra with a variable header).
 #[derive(Debug, Clone)]

@@ -1,0 +1,177 @@
+//! Stable fingerprints for programs and database snapshots.
+//!
+//! A [`Fingerprint`] is a 64-bit FNV-1a hash over a *canonical rendering*
+//! of the value — never over interner ids or in-memory addresses — so it is
+//! stable across runs, processes, and symbol-interning order. Two programs
+//! that pretty-print identically fingerprint identically; a database
+//! fingerprints the same no matter what order its tuples were inserted in.
+//!
+//! Fingerprints key the serving layer's saturation cache (`recurs-serve`)
+//! and let `--check` report *which* program/database version was verified.
+//! They are not cryptographic: collisions are astronomically unlikely for
+//! cache keys but an adversary could construct one.
+
+use crate::database::Database;
+use crate::rule::Program;
+use crate::term::Atom;
+use std::fmt;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A stable 64-bit content hash; displays as 16 hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u64);
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// FNV-1a over a byte string, seeded from `state` so hashes compose.
+fn fnv(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// Fingerprints an arbitrary string.
+pub fn of_str(s: &str) -> Fingerprint {
+    Fingerprint(fnv(FNV_OFFSET, s.as_bytes()))
+}
+
+/// Fingerprints a program over the canonical rendering of its rules, in
+/// rule order (rule order is part of program identity).
+pub fn of_program(program: &Program) -> Fingerprint {
+    let mut state = FNV_OFFSET;
+    for rule in &program.rules {
+        state = fnv(state, rule.to_string().as_bytes());
+        state = fnv(state, b"\n");
+    }
+    Fingerprint(state)
+}
+
+/// Fingerprints an atom (e.g. a query) over its canonical rendering.
+pub fn of_atom(atom: &Atom) -> Fingerprint {
+    of_str(&atom.to_string())
+}
+
+/// Fingerprints a database snapshot: relations in name order; within a
+/// relation, per-tuple hashes are combined commutatively so the (unordered)
+/// set-iteration order cannot leak into the fingerprint.
+pub fn of_database(db: &Database) -> Fingerprint {
+    let mut state = FNV_OFFSET;
+    for (name, relation) in db.iter() {
+        state = fnv(state, name.as_str().as_bytes());
+        state = fnv(state, &[0u8]);
+        state = fnv(state, &(relation.arity() as u64).to_le_bytes());
+        // Commutative tuple combine: sum of independent per-tuple hashes.
+        let mut tuple_sum: u64 = 0;
+        for t in relation.iter() {
+            let mut h = FNV_OFFSET;
+            for v in t.iter() {
+                h = fnv(h, v.as_str().as_bytes());
+                h = fnv(h, &[0u8]);
+            }
+            tuple_sum = tuple_sum.wrapping_add(h);
+        }
+        state = fnv(state, &tuple_sum.to_le_bytes());
+        state = fnv(state, &(relation.len() as u64).to_le_bytes());
+    }
+    Fingerprint(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use crate::relation::{tuple_u64, Relation};
+
+    fn program(src: &str) -> Program {
+        parse_program(src).expect("test program parses")
+    }
+
+    #[test]
+    fn identical_programs_fingerprint_identically() {
+        let a = program("P(x, y) :- A(x, z), P(z, y).\nP(x, y) :- E(x, y).");
+        let b = program("P(x,y):-A(x,z),P(z,y).  P(x,y) :- E(x,y).");
+        assert_eq!(of_program(&a), of_program(&b));
+    }
+
+    #[test]
+    fn different_programs_fingerprint_differently() {
+        let a = program("P(x, y) :- A(x, z), P(z, y).\nP(x, y) :- E(x, y).");
+        let b = program("P(x, y) :- P(z, y), A(x, z).\nP(x, y) :- E(x, y).");
+        assert_ne!(of_program(&a), of_program(&b));
+    }
+
+    #[test]
+    fn rule_order_is_part_of_identity() {
+        let a = program("P(x, y) :- E(x, y).\nP(x, y) :- A(x, z), P(z, y).");
+        let b = program("P(x, y) :- A(x, z), P(z, y).\nP(x, y) :- E(x, y).");
+        assert_ne!(of_program(&a), of_program(&b));
+    }
+
+    #[test]
+    fn database_fingerprint_is_insertion_order_independent() {
+        let mut forward = Database::new();
+        let mut reverse = Database::new();
+        forward.insert_relation("A", Relation::new(2));
+        reverse.insert_relation("A", Relation::new(2));
+        for i in 0..100u64 {
+            forward
+                .insert("A", tuple_u64([i, i + 1]))
+                .expect("arity matches");
+        }
+        for i in (0..100u64).rev() {
+            reverse
+                .insert("A", tuple_u64([i, i + 1]))
+                .expect("arity matches");
+        }
+        assert_eq!(of_database(&forward), of_database(&reverse));
+    }
+
+    #[test]
+    fn database_fingerprint_sees_content_changes() {
+        let mut db = Database::new();
+        db.insert_relation("A", Relation::from_pairs([(1, 2), (2, 3)]));
+        let before = of_database(&db);
+        db.insert("A", tuple_u64([3, 4])).expect("arity matches");
+        assert_ne!(before, of_database(&db));
+    }
+
+    #[test]
+    fn relation_name_distinguishes_databases() {
+        let mut a = Database::new();
+        a.insert_relation("A", Relation::from_pairs([(1, 2)]));
+        let mut b = Database::new();
+        b.insert_relation("B", Relation::from_pairs([(1, 2)]));
+        assert_ne!(of_database(&a), of_database(&b));
+    }
+
+    #[test]
+    fn empty_relation_vs_absent_relation_differ() {
+        let mut with_empty = Database::new();
+        with_empty.insert_relation("A", Relation::new(2));
+        let empty = Database::new();
+        assert_ne!(of_database(&with_empty), of_database(&empty));
+    }
+
+    #[test]
+    fn display_renders_sixteen_hex_digits() {
+        let fp = of_str("x");
+        assert_eq!(fp.to_string().len(), 16);
+        assert!(fp.to_string().chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn atom_fingerprint_distinguishes_constants() {
+        use crate::term::Term;
+        let a = Atom::new("P", vec![Term::constant("1"), Term::var("x")]);
+        let b = Atom::new("P", vec![Term::constant("2"), Term::var("x")]);
+        assert_ne!(of_atom(&a), of_atom(&b));
+    }
+}

@@ -83,6 +83,12 @@ impl fmt::Display for TruncationReason {
     }
 }
 
+impl serde::Serialize for TruncationReason {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::string(self.to_string())
+    }
+}
+
 /// How a governed run ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Outcome {
@@ -115,6 +121,15 @@ impl fmt::Display for Outcome {
             Outcome::Complete => f.write_str("complete"),
             Outcome::Truncated(r) => write!(f, "truncated ({r})"),
         }
+    }
+}
+
+impl serde::Serialize for Outcome {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::object([
+            ("complete", serde::Value::Bool(self.is_complete())),
+            ("truncation", self.truncation().to_value()),
+        ])
     }
 }
 

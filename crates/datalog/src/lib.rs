@@ -47,6 +47,7 @@ pub mod algebra;
 pub mod database;
 pub mod error;
 pub mod eval;
+pub mod fingerprint;
 pub mod govern;
 pub mod order;
 pub mod parser;
@@ -61,6 +62,7 @@ pub mod validate;
 pub use adornment::{ArgBinding, QueryForm};
 pub use database::Database;
 pub use error::{DatalogError, ParseError, ValidationError};
+pub use fingerprint::Fingerprint;
 pub use govern::{CancelToken, EvalBudget, Governor, Outcome, Progress, TruncationReason};
 pub use relation::{Relation, Tuple};
 pub use rule::{LinearRecursion, Program, Rule};

@@ -73,6 +73,15 @@ pub struct Saturation {
     pub stats: EngineStats,
 }
 
+impl serde::Serialize for Saturation {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::object([
+            ("outcome", self.outcome.to_value()),
+            ("stats", self.stats.to_value()),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -41,6 +41,12 @@ impl fmt::Display for KernelKind {
     }
 }
 
+impl serde::Serialize for KernelKind {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::string(self.label())
+    }
+}
+
 /// One fixpoint iteration as the engine saw it.
 #[derive(Debug, Clone, Default)]
 pub struct IterationStats {
@@ -58,6 +64,19 @@ pub struct IterationStats {
     pub busy: Duration,
     /// Worker threads used.
     pub workers: usize,
+}
+
+impl serde::Serialize for IterationStats {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::object([
+            ("delta_in", self.delta_in.to_value()),
+            ("derived", self.derived.to_value()),
+            ("new_tuples", self.new_tuples.to_value()),
+            ("duration_us", (self.duration.as_micros() as u64).to_value()),
+            ("busy_us", (self.busy.as_micros() as u64).to_value()),
+            ("workers", self.workers.to_value()),
+        ])
+    }
 }
 
 /// Statistics of an engine run.
@@ -132,6 +151,29 @@ impl EngineStats {
             ));
         }
         line
+    }
+}
+
+impl serde::Serialize for EngineStats {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::object([
+            ("kernel", self.kernel.to_value()),
+            ("threads", self.threads.to_value()),
+            ("iterations", self.iterations.to_value()),
+            ("iteration_count", self.iteration_count().to_value()),
+            ("tuples_derived", self.tuples_derived.to_value()),
+            (
+                "total_duration_us",
+                (self.total_duration().as_micros() as u64).to_value(),
+            ),
+            ("index_builds", self.index.builds.to_value()),
+            ("index_updates", self.index.updates.to_value()),
+            ("probes", self.probes.to_value()),
+            ("probe_hits", self.probe_hits.to_value()),
+            ("worker_panics", self.worker_panics.to_value()),
+            ("degraded_iterations", self.degraded_iterations.to_value()),
+            ("worker_utilization", self.worker_utilization().to_value()),
+        ])
     }
 }
 

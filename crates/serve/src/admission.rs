@@ -1,0 +1,105 @@
+//! Admission control: a counting semaphore bounding concurrent evaluations.
+//!
+//! Every query acquires a permit before evaluating and releases it on drop
+//! (RAII), so at most `permits` saturations run at once no matter how many
+//! threads call into the service. Waiting is FIFO-ish (condvar wakeup
+//! order); the time spent waiting is reported per query as `queue_wait` in
+//! [`crate::stats::ServeStats`].
+
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// A counting semaphore (std-only: mutex + condvar).
+#[derive(Debug)]
+pub struct Semaphore {
+    permits: Mutex<usize>,
+    available: Condvar,
+}
+
+impl Semaphore {
+    /// A semaphore with `permits` concurrent slots (floored at 1).
+    pub fn new(permits: usize) -> Semaphore {
+        Semaphore {
+            permits: Mutex::new(permits.max(1)),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a slot is free; returns the slot and how long the
+    /// caller queued for it.
+    pub fn acquire(&self) -> (Permit<'_>, Duration) {
+        let start = Instant::now();
+        let mut free = self.permits.lock().unwrap_or_else(PoisonError::into_inner);
+        while *free == 0 {
+            free = self
+                .available
+                .wait(free)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        *free -= 1;
+        (Permit { semaphore: self }, start.elapsed())
+    }
+}
+
+/// An acquired slot; dropping it releases the slot and wakes one waiter.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    semaphore: &'a Semaphore,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut free = self
+            .semaphore
+            .permits
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *free += 1;
+        self.semaphore.available.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn permits_bound_concurrency() {
+        let sem = Arc::new(Semaphore::new(2));
+        let running = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let (sem, running, peak) = (sem.clone(), running.clone(), peak.clone());
+            handles.push(std::thread::spawn(move || {
+                let (_permit, _wait) = sem.acquire();
+                let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(5));
+                running.fetch_sub(1, Ordering::SeqCst);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 2, "semaphore over-admitted");
+    }
+
+    #[test]
+    fn dropping_a_permit_unblocks_a_waiter() {
+        let sem = Arc::new(Semaphore::new(1));
+        let (p, wait) = sem.acquire();
+        assert!(wait < Duration::from_secs(1));
+        let sem2 = sem.clone();
+        let waiter = std::thread::spawn(move || {
+            let (_p, wait) = sem2.acquire();
+            wait
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        drop(p);
+        let waited = waiter.join().unwrap();
+        assert!(waited >= Duration::from_millis(5), "waiter did not queue");
+    }
+}

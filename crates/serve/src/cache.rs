@@ -1,0 +1,334 @@
+//! Sharded LRU cache of completed query answers.
+//!
+//! Entries are keyed by `(program fingerprint, snapshot version, canonical
+//! adorned query)` — see [`canonical_query_key`] — so a cache hit is only
+//! possible for the *same* program, the *same* database version, and a query
+//! that is literally the same selection pattern up to variable renaming.
+//! Updates therefore invalidate precisely: installing snapshot version
+//! `n + 1` makes every version-`n` key unreachable, and
+//! [`SaturationCache::retain_version`] reclaims the dead entries eagerly.
+//!
+//! Only [`Outcome::Complete`](recurs_datalog::govern::Outcome) answers are
+//! admitted by the service: a truncated answer is a budget-dependent
+//! under-approximation and must not be replayed to a caller with a more
+//! generous budget.
+
+use recurs_datalog::fingerprint::{self, Fingerprint};
+use recurs_datalog::relation::Relation;
+use recurs_datalog::term::{Atom, Term};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Cache key: program identity, snapshot version, canonical query.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Fingerprint of the served program.
+    pub program: Fingerprint,
+    /// Snapshot version the answer was computed against.
+    pub version: u64,
+    /// Canonical rendering of the query atom (see [`canonical_query_key`]).
+    pub query: String,
+}
+
+/// Renders a query atom canonically: constants verbatim, variables numbered
+/// by first occurrence. `P(c, X)` and `P(c, Y)` share a key; `P(x, x)` and
+/// `P(x, y)` do not.
+pub fn canonical_query_key(query: &Atom) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{}(", query.predicate);
+    let mut seen: Vec<_> = Vec::new();
+    for (i, t) in query.terms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match t {
+            Term::Const(c) => {
+                let _ = write!(out, "'{c}'");
+            }
+            Term::Var(v) => {
+                let n = match seen.iter().position(|s| s == v) {
+                    Some(n) => n,
+                    None => {
+                        seen.push(*v);
+                        seen.len() - 1
+                    }
+                };
+                let _ = write!(out, "${n}");
+            }
+        }
+    }
+    out.push(')');
+    out
+}
+
+/// Monotone counters exposed by [`SaturationCache::counters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Completed answers admitted.
+    pub insertions: u64,
+    /// Entries discarded to stay within capacity (LRU order).
+    pub evictions: u64,
+    /// Entries discarded because their snapshot version died.
+    pub invalidations: u64,
+}
+
+impl serde::Serialize for CacheCounters {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::object([
+            ("hits", self.hits.to_value()),
+            ("misses", self.misses.to_value()),
+            ("insertions", self.insertions.to_value()),
+            ("evictions", self.evictions.to_value()),
+            ("invalidations", self.invalidations.to_value()),
+        ])
+    }
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    /// Key → (recency tick, answer).
+    map: HashMap<CacheKey, (u64, Arc<Relation>)>,
+    /// Recency tick → key, the LRU order index.
+    order: BTreeMap<u64, CacheKey>,
+    tick: u64,
+}
+
+impl Shard {
+    fn touch(&mut self, key: &CacheKey) -> Option<Arc<Relation>> {
+        let (old_tick, value) = self.map.get(key)?;
+        let (old_tick, value) = (*old_tick, value.clone());
+        self.order.remove(&old_tick);
+        self.tick += 1;
+        let tick = self.tick;
+        self.order.insert(tick, key.clone());
+        if let Some(entry) = self.map.get_mut(key) {
+            entry.0 = tick;
+        }
+        Some(value)
+    }
+
+    fn insert(&mut self, key: CacheKey, value: Arc<Relation>, capacity: usize) -> u64 {
+        if let Some((old_tick, _)) = self.map.remove(&key) {
+            self.order.remove(&old_tick);
+        }
+        self.tick += 1;
+        self.order.insert(self.tick, key.clone());
+        self.map.insert(key, (self.tick, value));
+        let mut evicted = 0;
+        while self.map.len() > capacity {
+            // BTreeMap iterates ticks in ascending order: pop the oldest.
+            let Some((&oldest, _)) = self.order.iter().next() else {
+                break;
+            };
+            if let Some(key) = self.order.remove(&oldest) {
+                self.map.remove(&key);
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
+    fn retain_version(&mut self, version: u64) -> u64 {
+        let before = self.map.len();
+        self.map.retain(|k, _| k.version == version);
+        self.order.retain(|_, k| k.version == version);
+        (before - self.map.len()) as u64
+    }
+}
+
+/// A sharded LRU answer cache. Shards are independent mutexes keyed by the
+/// query hash, so concurrent lookups for different queries rarely contend.
+#[derive(Debug)]
+pub struct SaturationCache {
+    shards: Box<[Mutex<Shard>]>,
+    capacity_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl SaturationCache {
+    /// Builds a cache with `capacity` total entries spread over `shards`
+    /// mutex-protected shards (both floored at 1; per-shard capacity is
+    /// rounded up so total capacity is at least `capacity`).
+    pub fn new(capacity: usize, shards: usize) -> SaturationCache {
+        let shards = shards.max(1);
+        let capacity_per_shard = capacity.max(1).div_ceil(shards);
+        SaturationCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            capacity_per_shard,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
+        let h = fingerprint::of_str(&key.query).0 ^ key.version ^ key.program.0;
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks up a completed answer, refreshing its recency on a hit.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<Relation>> {
+        let mut shard = self
+            .shard(key)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        match shard.touch(key) {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Admits a completed answer, evicting least-recently-used entries of
+    /// the same shard if over capacity.
+    pub fn insert(&self, key: CacheKey, value: Arc<Relation>) {
+        let evicted = {
+            let mut shard = self
+                .shard(&key)
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            shard.insert(key, value, self.capacity_per_shard)
+        };
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    /// Drops every entry whose snapshot version is not `version`. Called by
+    /// the service when a new snapshot is installed: old-version keys can
+    /// never be looked up again.
+    pub fn retain_version(&self, version: u64) {
+        let mut dropped = 0;
+        for shard in self.shards.iter() {
+            dropped += shard
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .retain_version(version);
+        }
+        self.invalidations.fetch_add(dropped, Ordering::Relaxed);
+    }
+
+    /// Number of live entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).map.len())
+            .sum()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A consistent snapshot of the monotone counters.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recurs_datalog::parser::parse_atom;
+
+    fn key(version: u64, query: &str) -> CacheKey {
+        CacheKey {
+            program: Fingerprint(7),
+            version,
+            query: canonical_query_key(&parse_atom(query).unwrap()),
+        }
+    }
+
+    fn rel(n: u64) -> Arc<Relation> {
+        Arc::new(Relation::from_pairs([(n, n)]))
+    }
+
+    #[test]
+    fn canonical_key_normalizes_variable_names() {
+        let a = parse_atom("P(1, x)").unwrap();
+        let b = parse_atom("P(1, y)").unwrap();
+        assert_eq!(canonical_query_key(&a), canonical_query_key(&b));
+        assert_eq!(canonical_query_key(&a), "P('1',$0)");
+    }
+
+    #[test]
+    fn canonical_key_distinguishes_repeated_variables() {
+        let xy = parse_atom("P(x, y)").unwrap();
+        let xx = parse_atom("P(x, x)").unwrap();
+        assert_ne!(canonical_query_key(&xy), canonical_query_key(&xx));
+        assert_eq!(canonical_query_key(&xx), "P($0,$0)");
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let cache = SaturationCache::new(8, 2);
+        let k = key(0, "P(1, x)");
+        assert!(cache.get(&k).is_none());
+        cache.insert(k.clone(), rel(1));
+        assert_eq!(cache.get(&k).unwrap().len(), 1);
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses, c.insertions), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = SaturationCache::new(2, 1);
+        let (k1, k2, k3) = (key(0, "P(1, x)"), key(0, "P(2, x)"), key(0, "P(3, x)"));
+        cache.insert(k1.clone(), rel(1));
+        cache.insert(k2.clone(), rel(2));
+        // Touch k1 so k2 is the LRU entry when k3 arrives.
+        assert!(cache.get(&k1).is_some());
+        cache.insert(k3.clone(), rel(3));
+        assert!(cache.get(&k1).is_some());
+        assert!(cache.get(&k2).is_none());
+        assert!(cache.get(&k3).is_some());
+        assert_eq!(cache.counters().evictions, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn version_change_invalidates_precisely() {
+        let cache = SaturationCache::new(16, 4);
+        cache.insert(key(0, "P(1, x)"), rel(1));
+        cache.insert(key(0, "P(2, x)"), rel(2));
+        cache.insert(key(1, "P(1, x)"), rel(3));
+        cache.retain_version(1);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&key(0, "P(1, x)")).is_none());
+        assert!(cache.get(&key(1, "P(1, x)")).is_some());
+        assert_eq!(cache.counters().invalidations, 2);
+    }
+
+    #[test]
+    fn reinsert_same_key_does_not_grow() {
+        let cache = SaturationCache::new(4, 1);
+        let k = key(0, "P(1, x)");
+        cache.insert(k.clone(), rel(1));
+        cache.insert(k.clone(), rel(2));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.counters().evictions, 0);
+    }
+}

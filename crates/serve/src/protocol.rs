@@ -1,0 +1,230 @@
+//! The `recurs serve --stdin` line protocol: one request per line, one JSON
+//! reply per line.
+//!
+//! Requests:
+//!
+//! * `?- P(c, X).` (the `?-` and trailing `.` are optional) — answer a query;
+//! * `+ A(1, 2).` — insert a ground fact, installing a new snapshot version;
+//! * `!stats` — dump the service-wide statistics;
+//! * `!snapshot` — report the current snapshot version and fingerprints;
+//! * `!quit` — end the session;
+//! * blank lines and `%`/`#` comments are ignored (no reply).
+//!
+//! Every reply is a single-line JSON object with an `"ok"` field; errors
+//! are `{"ok":false,"error":"..."}` and never kill the session.
+
+use crate::error::ServeError;
+use crate::service::{QueryService, Reply};
+use recurs_datalog::parser::parse_atom;
+use recurs_datalog::relation::Tuple;
+use recurs_datalog::term::Term;
+use serde::{Serialize as _, Value};
+use std::io::{BufRead, Write};
+
+/// Outcome of handling one protocol line.
+pub enum LineOutcome {
+    /// A reply to print.
+    Reply(String),
+    /// Nothing to print (blank line or comment).
+    Silent,
+    /// The client asked to end the session (`!quit`).
+    Quit,
+}
+
+/// Handles one request line against the service.
+pub fn handle_line(service: &QueryService, line: &str) -> LineOutcome {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('%') || line.starts_with('#') {
+        return LineOutcome::Silent;
+    }
+    if line == "!quit" {
+        return LineOutcome::Quit;
+    }
+    LineOutcome::Reply(match handle_request(service, line) {
+        Ok(v) => serde::json::to_string(&v),
+        Err(e) => serde::json::to_string(&Value::object([
+            ("ok", Value::Bool(false)),
+            ("error", Value::string(e)),
+        ])),
+    })
+}
+
+fn handle_request(service: &QueryService, line: &str) -> Result<Value, String> {
+    if line == "!stats" {
+        return Ok(Value::object([
+            ("ok", Value::Bool(true)),
+            ("type", Value::string("stats")),
+            ("stats", service.stats().to_value()),
+        ]));
+    }
+    if line == "!snapshot" {
+        let snap = service.snapshot();
+        return Ok(Value::object([
+            ("ok", Value::Bool(true)),
+            ("type", Value::string("snapshot")),
+            ("version", snap.version().to_value()),
+            ("fingerprint", Value::string(snap.fingerprint().to_string())),
+            (
+                "program_fingerprint",
+                Value::string(service.program_fingerprint().to_string()),
+            ),
+        ]));
+    }
+    if let Some(fact) = line.strip_prefix('+') {
+        return insert_fact(service, fact);
+    }
+    if line.starts_with('!') {
+        return Err(format!("unknown command: {line}"));
+    }
+    let text = line.strip_prefix("?-").unwrap_or(line).trim();
+    let text = text.strip_suffix('.').unwrap_or(text).trim();
+    let query = parse_atom(text).map_err(|e| e.to_string())?;
+    let reply = service.query(&query).map_err(|e| e.to_string())?;
+    Ok(render_reply(text, &reply))
+}
+
+fn insert_fact(service: &QueryService, fact: &str) -> Result<Value, String> {
+    let text = fact.trim();
+    let text = text.strip_suffix('.').unwrap_or(text).trim();
+    let atom = parse_atom(text).map_err(|e| e.to_string())?;
+    let mut values = Vec::with_capacity(atom.terms.len());
+    for t in &atom.terms {
+        match t {
+            Term::Const(c) => values.push(*c),
+            Term::Var(v) => return Err(format!("fact {text} is not ground: variable {v}")),
+        }
+    }
+    let snap = service
+        .update(|db| {
+            db.declare(atom.predicate, values.len())?;
+            db.insert(atom.predicate, Tuple::from(values.as_slice()))?;
+            Ok(())
+        })
+        .map_err(|e: ServeError| e.to_string())?;
+    Ok(Value::object([
+        ("ok", Value::Bool(true)),
+        ("type", Value::string("snapshot")),
+        ("version", snap.version().to_value()),
+        ("fingerprint", Value::string(snap.fingerprint().to_string())),
+    ]))
+}
+
+fn render_reply(query: &str, reply: &Reply) -> Value {
+    let rows: Vec<Value> = reply
+        .answers
+        .iter_sorted()
+        .into_iter()
+        .map(|t| Value::array(t.iter().map(|v| Value::string(v.as_str()))))
+        .collect();
+    Value::object([
+        ("ok", Value::Bool(true)),
+        ("type", Value::string("answers")),
+        ("query", Value::string(query)),
+        ("count", reply.answers.len().to_value()),
+        ("answers", Value::Array(rows)),
+        ("stats", reply.stats.to_value()),
+    ])
+}
+
+/// Serves the line protocol until EOF or `!quit`: one request per input
+/// line, one JSON reply per output line (flushed after each).
+pub fn run_loop(
+    service: &QueryService,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> std::io::Result<()> {
+    for line in input.lines() {
+        match handle_line(service, &line?) {
+            LineOutcome::Reply(reply) => {
+                writeln!(output, "{reply}")?;
+                output.flush()?;
+            }
+            LineOutcome::Silent => {}
+            LineOutcome::Quit => break,
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServeConfig;
+    use recurs_datalog::database::Database;
+    use recurs_datalog::parser::parse_program;
+    use recurs_datalog::relation::Relation;
+    use recurs_datalog::validate::validate_with_generic_exit;
+
+    fn service() -> QueryService {
+        let lr = validate_with_generic_exit(
+            &parse_program("P(x, y) :- A(x, z), P(z, y).\nP(x, y) :- E(x, y).").unwrap(),
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.insert_relation("A", Relation::from_pairs([(1, 2), (2, 3)]));
+        db.insert_relation("E", Relation::from_pairs([(1, 2), (2, 3)]));
+        QueryService::new(lr, db, ServeConfig::default())
+    }
+
+    fn reply(service: &QueryService, line: &str) -> String {
+        match handle_line(service, line) {
+            LineOutcome::Reply(r) => r,
+            _ => panic!("expected a reply for {line}"),
+        }
+    }
+
+    #[test]
+    fn query_reply_lists_sorted_answers() {
+        let s = service();
+        let r = reply(&s, "?- P(1, y).");
+        assert!(r.contains("\"ok\":true"));
+        assert!(r.contains("\"count\":2"));
+        assert!(r.contains("[[\"2\"],[\"3\"]]"));
+    }
+
+    #[test]
+    fn insert_installs_a_new_version_and_queries_see_it() {
+        let s = service();
+        let r = reply(&s, "+A(3, 4).");
+        assert!(r.contains("\"version\":1"), "got {r}");
+        let r = reply(&s, "+E(3, 4).");
+        assert!(r.contains("\"version\":2"), "got {r}");
+        let r = reply(&s, "P(1, y)");
+        assert!(r.contains("\"count\":3"), "got {r}");
+    }
+
+    #[test]
+    fn malformed_lines_report_errors_without_ending_the_session() {
+        let s = service();
+        let r = reply(&s, "?- P(1, y");
+        assert!(r.contains("\"ok\":false"), "got {r}");
+        let r = reply(&s, "+A(x, y).");
+        assert!(r.contains("not ground"), "got {r}");
+        let r = reply(&s, "!bogus");
+        assert!(r.contains("unknown command"), "got {r}");
+        // Still serving.
+        assert!(reply(&s, "?- P(1, y).").contains("\"ok\":true"));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_silent_and_quit_quits() {
+        let s = service();
+        assert!(matches!(handle_line(&s, ""), LineOutcome::Silent));
+        assert!(matches!(handle_line(&s, "% note"), LineOutcome::Silent));
+        assert!(matches!(handle_line(&s, "# note"), LineOutcome::Silent));
+        assert!(matches!(handle_line(&s, "!quit"), LineOutcome::Quit));
+    }
+
+    #[test]
+    fn run_loop_replies_per_line_until_quit() {
+        let s = service();
+        let input = b"?- P(1, y).\n!stats\n!quit\n?- P(2, y).\n" as &[u8];
+        let mut out = Vec::new();
+        run_loop(&s, input, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "quit must end the session: {text}");
+        assert!(lines[0].contains("\"type\":\"answers\""));
+        assert!(lines[1].contains("\"type\":\"stats\""));
+    }
+}

@@ -1,0 +1,358 @@
+//! The long-lived query service: snapshots + kernels + cache + admission.
+
+use crate::admission::Semaphore;
+use crate::cache::{canonical_query_key, CacheKey, SaturationCache};
+use crate::error::ServeError;
+use crate::kernel::{PointKernelKind, PointPlans};
+use crate::snapshot::{Snapshot, SnapshotStore};
+use crate::stats::{Aggregates, CacheOutcome, ServeStats, ServiceStats};
+use recurs_core::Classification;
+use recurs_datalog::database::Database;
+use recurs_datalog::error::DatalogError;
+use recurs_datalog::fingerprint::{self, Fingerprint};
+use recurs_datalog::govern::{EvalBudget, Outcome};
+use recurs_datalog::relation::Relation;
+use recurs_datalog::term::Atom;
+use recurs_engine::EngineMode;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Maximum concurrent evaluations (admission semaphore permits).
+    pub max_concurrent: usize,
+    /// Total answer-cache capacity in entries; 0 disables the cache.
+    pub cache_capacity: usize,
+    /// Number of cache shards (locks).
+    pub cache_shards: usize,
+    /// Default per-query budget (queries may override it).
+    pub budget: EvalBudget,
+    /// Engine mode for saturating kernels (magic / full saturation).
+    pub mode: EngineMode,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            max_concurrent: 4,
+            cache_capacity: 1024,
+            cache_shards: 8,
+            budget: EvalBudget::unlimited(),
+            mode: EngineMode::Indexed,
+        }
+    }
+}
+
+/// One answered query: the (shared) answer relation plus per-query stats.
+#[derive(Debug)]
+pub struct Reply {
+    /// The answers, over the query's distinct variables in first-occurrence
+    /// order. Shared: cache hits hand out the same allocation.
+    pub answers: Arc<Relation>,
+    /// Complete, or soundly truncated.
+    pub outcome: Outcome,
+    /// What the query cost.
+    pub stats: ServeStats,
+}
+
+/// A thread-safe, long-lived query service for one linear recursion.
+///
+/// Readers call [`QueryService::query`] concurrently from any number of
+/// threads; writers install new fact snapshots with [`QueryService::update`]
+/// without blocking in-flight readers (copy-on-write snapshot isolation).
+/// Completed answers are cached per `(program, snapshot version, adorned
+/// query)`; truncated answers never are.
+#[derive(Debug)]
+pub struct QueryService {
+    plans: PointPlans,
+    program_fingerprint: Fingerprint,
+    store: SnapshotStore,
+    cache: Option<SaturationCache>,
+    admission: Semaphore,
+    agg: Aggregates,
+    budget: EvalBudget,
+    mode: EngineMode,
+}
+
+impl QueryService {
+    /// Builds a service for `lr` over an initial database (version 0).
+    /// Classification and the bounded plan are computed once, here.
+    pub fn new(
+        lr: recurs_datalog::rule::LinearRecursion,
+        db: Database,
+        config: ServeConfig,
+    ) -> QueryService {
+        let plans = PointPlans::new(lr);
+        let program_fingerprint = fingerprint::of_program(&plans.recursion().to_program());
+        QueryService {
+            plans,
+            program_fingerprint,
+            store: SnapshotStore::new(db),
+            cache: (config.cache_capacity > 0)
+                .then(|| SaturationCache::new(config.cache_capacity, config.cache_shards)),
+            admission: Semaphore::new(config.max_concurrent),
+            agg: Aggregates::default(),
+            budget: config.budget,
+            mode: config.mode,
+        }
+    }
+
+    /// The classification driving point-kernel dispatch.
+    pub fn classification(&self) -> &Classification {
+        self.plans.classification()
+    }
+
+    /// Stable fingerprint of the served program.
+    pub fn program_fingerprint(&self) -> Fingerprint {
+        self.program_fingerprint
+    }
+
+    /// The current snapshot (cheap; never blocks on evaluation).
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.store.load()
+    }
+
+    /// Installs the next snapshot version copy-on-write and invalidates the
+    /// cache entries of every dead version. In-flight readers keep their
+    /// version; queries admitted after this returns see the new one.
+    pub fn update(
+        &self,
+        edit: impl FnOnce(&mut Database) -> Result<(), DatalogError>,
+    ) -> Result<Arc<Snapshot>, ServeError> {
+        let snap = self.store.update(edit)?;
+        if let Some(cache) = &self.cache {
+            cache.retain_version(snap.version());
+        }
+        self.agg.snapshot_updates.fetch_add(1, Ordering::Relaxed);
+        Ok(snap)
+    }
+
+    /// Answers a query under the service's default budget.
+    pub fn query(&self, query: &Atom) -> Result<Reply, ServeError> {
+        self.query_with_budget(query, &self.budget.clone())
+    }
+
+    /// Answers a query under a caller-supplied budget. The reply's outcome
+    /// is `Complete`, or `Truncated` with the answers being a sound
+    /// under-approximation.
+    pub fn query_with_budget(
+        &self,
+        query: &Atom,
+        budget: &EvalBudget,
+    ) -> Result<Reply, ServeError> {
+        let (_permit, queue_wait) = self.admission.acquire();
+        let snapshot = self.store.load();
+        let kernel = self.plans.select(query);
+        let start = Instant::now();
+
+        let key = self.cache.as_ref().map(|_| CacheKey {
+            program: self.program_fingerprint,
+            version: snapshot.version(),
+            query: canonical_query_key(query),
+        });
+        if let (Some(cache), Some(key)) = (&self.cache, &key) {
+            if let Some(answers) = cache.get(key) {
+                let stats = ServeStats {
+                    queue_wait,
+                    eval: start.elapsed(),
+                    cache: CacheOutcome::Hit,
+                    kernel,
+                    outcome: Outcome::Complete,
+                    answers: answers.len(),
+                    tuples_derived: 0,
+                    fixpoint_iterations: 0,
+                    snapshot_version: snapshot.version(),
+                };
+                self.agg.record(&stats);
+                return Ok(Reply {
+                    answers,
+                    outcome: Outcome::Complete,
+                    stats,
+                });
+            }
+        }
+
+        let point = self
+            .plans
+            .answer(snapshot.database(), query, budget, self.mode)
+            .inspect_err(|_| {
+                self.agg.errors.fetch_add(1, Ordering::Relaxed);
+            })?;
+        let answers = Arc::new(point.answers);
+        // Only complete answers are cacheable: a truncated answer depends on
+        // the budget that truncated it.
+        if let (Some(cache), Some(key), true) = (&self.cache, key, point.outcome.is_complete()) {
+            cache.insert(key, answers.clone());
+        }
+        let stats = ServeStats {
+            queue_wait,
+            eval: start.elapsed(),
+            cache: if self.cache.is_some() {
+                CacheOutcome::Miss
+            } else {
+                CacheOutcome::Bypass
+            },
+            kernel: point.kernel,
+            outcome: point.outcome,
+            answers: answers.len(),
+            tuples_derived: point.tuples_derived,
+            fixpoint_iterations: point.fixpoint_iterations,
+            snapshot_version: snapshot.version(),
+        };
+        self.agg.record(&stats);
+        Ok(Reply {
+            answers,
+            outcome: point.outcome,
+            stats,
+        })
+    }
+
+    /// Which kernel the dispatcher would select for a query.
+    pub fn kernel_for(&self, query: &Atom) -> PointKernelKind {
+        self.plans.select(query)
+    }
+
+    /// A point-in-time snapshot of the service-wide statistics.
+    pub fn stats(&self) -> ServiceStats {
+        let snapshot = self.store.load();
+        ServiceStats {
+            queries: self.agg.queries.load(Ordering::Relaxed),
+            complete: self.agg.complete.load(Ordering::Relaxed),
+            truncated: self.agg.truncated.load(Ordering::Relaxed),
+            errors: self.agg.errors.load(Ordering::Relaxed),
+            kernel_bounded: self.agg.kernel_bounded.load(Ordering::Relaxed),
+            kernel_magic: self.agg.kernel_magic.load(Ordering::Relaxed),
+            kernel_saturate: self.agg.kernel_saturate.load(Ordering::Relaxed),
+            queue_wait_us: self.agg.queue_wait_us.load(Ordering::Relaxed),
+            eval_us: self.agg.eval_us.load(Ordering::Relaxed),
+            tuples_derived: self.agg.tuples_derived.load(Ordering::Relaxed),
+            cache: self
+                .cache
+                .as_ref()
+                .map(SaturationCache::counters)
+                .unwrap_or_default(),
+            snapshot_version: snapshot.version(),
+            snapshot_updates: self.agg.snapshot_updates.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The service-wide statistics as a JSON object (single line).
+    pub fn stats_json(&self) -> String {
+        serde::json::to_string(&self.stats())
+    }
+
+    /// Number of live cache entries (0 when the cache is disabled).
+    pub fn cache_len(&self) -> usize {
+        self.cache.as_ref().map_or(0, SaturationCache::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recurs_datalog::parser::{parse_atom, parse_program};
+    use recurs_datalog::relation::tuple_u64;
+    use recurs_datalog::validate::validate_with_generic_exit;
+
+    fn tc_service(n: u64, config: ServeConfig) -> QueryService {
+        let lr = validate_with_generic_exit(
+            &parse_program("P(x, y) :- A(x, z), P(z, y).\nP(x, y) :- E(x, y).").unwrap(),
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.insert_relation("A", Relation::from_pairs((1..n).map(|i| (i, i + 1))));
+        db.insert_relation("E", Relation::from_pairs((1..n).map(|i| (i, i + 1))));
+        QueryService::new(lr, db, config)
+    }
+
+    #[test]
+    fn repeated_query_hits_the_cache() {
+        let service = tc_service(10, ServeConfig::default());
+        let q = parse_atom("P(1, y)").unwrap();
+        let first = service.query(&q).unwrap();
+        assert_eq!(first.stats.cache, CacheOutcome::Miss);
+        let second = service.query(&q).unwrap();
+        assert_eq!(second.stats.cache, CacheOutcome::Hit);
+        assert_eq!(first.answers, second.answers);
+        // Alpha-equivalent query shares the entry.
+        let renamed = parse_atom("P(1, z)").unwrap();
+        assert_eq!(
+            service.query(&renamed).unwrap().stats.cache,
+            CacheOutcome::Hit
+        );
+        let stats = service.stats();
+        assert_eq!(stats.cache.hits, 2);
+        assert_eq!(stats.cache.misses, 1);
+    }
+
+    #[test]
+    fn disabled_cache_reports_bypass() {
+        let service = tc_service(
+            6,
+            ServeConfig {
+                cache_capacity: 0,
+                ..ServeConfig::default()
+            },
+        );
+        let q = parse_atom("P(1, y)").unwrap();
+        assert_eq!(service.query(&q).unwrap().stats.cache, CacheOutcome::Bypass);
+        assert_eq!(service.query(&q).unwrap().stats.cache, CacheOutcome::Bypass);
+        assert_eq!(service.cache_len(), 0);
+    }
+
+    #[test]
+    fn update_installs_version_and_invalidates_cache() {
+        let service = tc_service(5, ServeConfig::default());
+        let q = parse_atom("P(1, y)").unwrap();
+        let before = service.query(&q).unwrap();
+        assert_eq!(before.stats.snapshot_version, 0);
+        assert!(service.cache_len() > 0);
+        // Extend the chain: 5 → 6.
+        service
+            .update(|db| {
+                db.insert("A", tuple_u64([5, 6]))?;
+                db.insert("E", tuple_u64([5, 6]))?;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(service.cache_len(), 0, "stale entries must be invalidated");
+        let after = service.query(&q).unwrap();
+        assert_eq!(after.stats.cache, CacheOutcome::Miss);
+        assert_eq!(after.stats.snapshot_version, 1);
+        assert_eq!(after.answers.len(), before.answers.len() + 1);
+    }
+
+    #[test]
+    fn truncated_answers_are_not_cached() {
+        let service = tc_service(30, ServeConfig::default());
+        let q = parse_atom("P(1, y)").unwrap();
+        let tight = EvalBudget::unlimited().with_max_iterations(2);
+        let reply = service.query_with_budget(&q, &tight).unwrap();
+        assert!(!reply.outcome.is_complete());
+        assert_eq!(service.cache_len(), 0);
+        // The next (unbudgeted) query must not see the truncated answer.
+        let full = service.query(&q).unwrap();
+        assert_eq!(full.stats.cache, CacheOutcome::Miss);
+        assert!(full.outcome.is_complete());
+        assert!(full.answers.len() > reply.answers.len());
+    }
+
+    #[test]
+    fn stats_json_is_one_line_with_expected_fields() {
+        let service = tc_service(6, ServeConfig::default());
+        let q = parse_atom("P(2, y)").unwrap();
+        service.query(&q).unwrap();
+        let json = service.stats_json();
+        assert!(!json.contains('\n'));
+        for field in [
+            "\"queries\":1",
+            "\"kernels\"",
+            "\"cache\"",
+            "\"snapshot_version\":0",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Per-query and service-wide statistics, exportable as JSON.
+
+use crate::cache::CacheCounters;
+use crate::kernel::PointKernelKind;
+use recurs_datalog::govern::Outcome;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// How the cache participated in one query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Answered from the cache.
+    Hit,
+    /// Looked up, not found, computed (and admitted if complete).
+    Miss,
+    /// The cache was disabled for this query.
+    Bypass,
+}
+
+impl CacheOutcome {
+    /// Lower-case label: `"hit"`, `"miss"`, `"bypass"`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Bypass => "bypass",
+        }
+    }
+}
+
+impl serde::Serialize for CacheOutcome {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::string(self.label())
+    }
+}
+
+/// What one query cost and how it was answered.
+#[derive(Debug, Clone)]
+pub struct ServeStats {
+    /// Time spent waiting for an admission permit.
+    pub queue_wait: Duration,
+    /// Time spent evaluating (or looking up) the answer.
+    pub eval: Duration,
+    /// Cache participation.
+    pub cache: CacheOutcome,
+    /// The point-query kernel the dispatcher selected.
+    pub kernel: PointKernelKind,
+    /// Complete, or soundly truncated by the budget.
+    pub outcome: Outcome,
+    /// Number of answer tuples returned.
+    pub answers: usize,
+    /// Tuples derived while evaluating (0 on a cache hit).
+    pub tuples_derived: usize,
+    /// Fixpoint iterations run (0 on a cache hit and for the bounded kernel).
+    pub fixpoint_iterations: usize,
+    /// The snapshot version the query was answered against.
+    pub snapshot_version: u64,
+}
+
+impl serde::Serialize for ServeStats {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::object([
+            (
+                "queue_wait_us",
+                (self.queue_wait.as_micros() as u64).to_value(),
+            ),
+            ("eval_us", (self.eval.as_micros() as u64).to_value()),
+            ("cache", self.cache.to_value()),
+            ("kernel", self.kernel.to_value()),
+            ("outcome", self.outcome.to_value()),
+            ("answers", self.answers.to_value()),
+            ("tuples_derived", self.tuples_derived.to_value()),
+            ("fixpoint_iterations", self.fixpoint_iterations.to_value()),
+            ("snapshot_version", self.snapshot_version.to_value()),
+        ])
+    }
+}
+
+/// Lock-free accumulators the service updates per query.
+#[derive(Debug, Default)]
+pub(crate) struct Aggregates {
+    pub queries: AtomicU64,
+    pub complete: AtomicU64,
+    pub truncated: AtomicU64,
+    pub errors: AtomicU64,
+    pub kernel_bounded: AtomicU64,
+    pub kernel_magic: AtomicU64,
+    pub kernel_saturate: AtomicU64,
+    pub queue_wait_us: AtomicU64,
+    pub eval_us: AtomicU64,
+    pub tuples_derived: AtomicU64,
+    pub snapshot_updates: AtomicU64,
+}
+
+impl Aggregates {
+    pub(crate) fn record(&self, stats: &ServeStats) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        if stats.outcome.is_complete() {
+            self.complete.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.truncated.fetch_add(1, Ordering::Relaxed);
+        }
+        let kernel_counter = match stats.kernel {
+            PointKernelKind::BoundedUnroll { .. } => &self.kernel_bounded,
+            PointKernelKind::MagicIterate => &self.kernel_magic,
+            PointKernelKind::FullSaturation => &self.kernel_saturate,
+        };
+        kernel_counter.fetch_add(1, Ordering::Relaxed);
+        self.queue_wait_us
+            .fetch_add(stats.queue_wait.as_micros() as u64, Ordering::Relaxed);
+        self.eval_us
+            .fetch_add(stats.eval.as_micros() as u64, Ordering::Relaxed);
+        self.tuples_derived
+            .fetch_add(stats.tuples_derived as u64, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time snapshot of the service's aggregate statistics.
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    /// Queries answered (successfully; errors are counted separately).
+    pub queries: u64,
+    /// Queries whose outcome was `Complete`.
+    pub complete: u64,
+    /// Queries whose outcome was `Truncated`.
+    pub truncated: u64,
+    /// Queries that returned a typed error.
+    pub errors: u64,
+    /// Queries answered by the bounded kernel.
+    pub kernel_bounded: u64,
+    /// Queries answered by the magic kernel.
+    pub kernel_magic: u64,
+    /// Queries answered by full saturation.
+    pub kernel_saturate: u64,
+    /// Summed admission queue wait, microseconds.
+    pub queue_wait_us: u64,
+    /// Summed evaluation time, microseconds.
+    pub eval_us: u64,
+    /// Summed tuples derived.
+    pub tuples_derived: u64,
+    /// Saturation-cache counters.
+    pub cache: CacheCounters,
+    /// Current snapshot version.
+    pub snapshot_version: u64,
+    /// Snapshots installed since the service started.
+    pub snapshot_updates: u64,
+}
+
+impl serde::Serialize for ServiceStats {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::object([
+            ("queries", self.queries.to_value()),
+            ("complete", self.complete.to_value()),
+            ("truncated", self.truncated.to_value()),
+            ("errors", self.errors.to_value()),
+            (
+                "kernels",
+                serde::Value::object([
+                    ("bounded", self.kernel_bounded.to_value()),
+                    ("magic", self.kernel_magic.to_value()),
+                    ("saturate", self.kernel_saturate.to_value()),
+                ]),
+            ),
+            ("queue_wait_us", self.queue_wait_us.to_value()),
+            ("eval_us", self.eval_us.to_value()),
+            ("tuples_derived", self.tuples_derived.to_value()),
+            ("cache", self.cache.to_value()),
+            ("snapshot_version", self.snapshot_version.to_value()),
+            ("snapshot_updates", self.snapshot_updates.to_value()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recurs_datalog::govern::TruncationReason;
+
+    fn stats(kernel: PointKernelKind, outcome: Outcome) -> ServeStats {
+        ServeStats {
+            queue_wait: Duration::from_micros(10),
+            eval: Duration::from_micros(100),
+            cache: CacheOutcome::Miss,
+            kernel,
+            outcome,
+            answers: 3,
+            tuples_derived: 7,
+            fixpoint_iterations: 2,
+            snapshot_version: 1,
+        }
+    }
+
+    #[test]
+    fn aggregates_count_outcomes_and_kernels() {
+        let agg = Aggregates::default();
+        agg.record(&stats(PointKernelKind::MagicIterate, Outcome::Complete));
+        agg.record(&stats(
+            PointKernelKind::FullSaturation,
+            Outcome::Truncated(TruncationReason::Deadline),
+        ));
+        agg.record(&stats(
+            PointKernelKind::BoundedUnroll { rank: 2 },
+            Outcome::Complete,
+        ));
+        assert_eq!(agg.queries.load(Ordering::Relaxed), 3);
+        assert_eq!(agg.complete.load(Ordering::Relaxed), 2);
+        assert_eq!(agg.truncated.load(Ordering::Relaxed), 1);
+        assert_eq!(agg.kernel_magic.load(Ordering::Relaxed), 1);
+        assert_eq!(agg.kernel_saturate.load(Ordering::Relaxed), 1);
+        assert_eq!(agg.kernel_bounded.load(Ordering::Relaxed), 1);
+        assert_eq!(agg.tuples_derived.load(Ordering::Relaxed), 21);
+    }
+
+    #[test]
+    fn serve_stats_serialize_to_json() {
+        let s = stats(PointKernelKind::MagicIterate, Outcome::Complete);
+        let json = serde::json::to_string(&s);
+        assert!(json.contains("\"kernel\":\"magic\""));
+        assert!(json.contains("\"cache\":\"miss\""));
+        assert!(json.contains("\"complete\":true"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Concurrency suite: N reader threads issuing mixed bound/free queries
+//! while a writer installs new snapshot versions. Every reply must be
+//! internally consistent — answered entirely against the single snapshot
+//! version it reports (no torn reads), never served stale from the cache,
+//! and `Complete` or a sound `Truncated` under-approximation.
+
+use recurs_datalog::database::Database;
+use recurs_datalog::eval::{answer_query, semi_naive};
+use recurs_datalog::govern::EvalBudget;
+use recurs_datalog::parser::{parse_atom, parse_program};
+use recurs_datalog::relation::{tuple_u64, Relation};
+use recurs_datalog::rule::LinearRecursion;
+use recurs_datalog::term::{Atom, Term, Value};
+use recurs_serve::{QueryService, ServeConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const BASE: u64 = 16; // base chain 1 → … → BASE
+const UPDATES: u64 = 5; // writer extends the chain this many times
+
+fn tc() -> LinearRecursion {
+    recurs_datalog::validate::validate_with_generic_exit(
+        &parse_program("P(x, y) :- A(x, z), P(z, y).\nP(x, y) :- E(x, y).").unwrap(),
+    )
+    .expect("TC validates")
+}
+
+/// The chain database after `v` writer updates (version `v`).
+fn db_at_version(v: u64) -> Database {
+    let mut db = Database::new();
+    let n = BASE + v;
+    db.insert_relation("A", Relation::from_pairs((1..n).map(|i| (i, i + 1))));
+    db.insert_relation("E", Relation::from_pairs((1..n).map(|i| (i, i + 1))));
+    db
+}
+
+/// Oracle fixpoints for every version the writer will install.
+fn oracles() -> Vec<Database> {
+    let lr = tc();
+    (0..=UPDATES)
+        .map(|v| {
+            let mut db = db_at_version(v);
+            semi_naive(&mut db, &lr.to_program(), None).expect("oracle saturates");
+            db
+        })
+        .collect()
+}
+
+fn reader_queries() -> Vec<Atom> {
+    let mut queries = Vec::new();
+    for c in 1..=BASE {
+        queries.push(Atom::new(
+            "P",
+            vec![Term::Const(Value::from_u64(c)), Term::var("y")],
+        ));
+    }
+    queries.push(parse_atom("P(x, y)").expect("query parses"));
+    queries.push(parse_atom("P(1, 5)").expect("query parses"));
+    queries
+}
+
+#[test]
+fn readers_and_writer_never_tear_or_serve_stale() {
+    let service = QueryService::new(tc(), db_at_version(0), ServeConfig::default());
+    let oracles = oracles();
+    let queries = reader_queries();
+    let readers = 6;
+    let rounds = 24;
+    let checked = AtomicUsize::new(0);
+
+    std::thread::scope(|s| {
+        for r in 0..readers {
+            let service = &service;
+            let oracles = &oracles;
+            let queries = &queries;
+            let checked = &checked;
+            s.spawn(move || {
+                for i in 0..rounds {
+                    let q = &queries[(r * 7 + i * 3) % queries.len()];
+                    let reply = service.query(q).expect("query succeeds");
+                    assert!(
+                        reply.outcome.is_complete(),
+                        "unbudgeted query reported truncation"
+                    );
+                    // No torn read: the answers must equal the oracle for
+                    // exactly the version the reply claims it used.
+                    let v = reply.stats.snapshot_version as usize;
+                    assert!(v < oracles.len(), "impossible version {v}");
+                    let want = answer_query(&oracles[v], q).expect("oracle answers");
+                    assert_eq!(
+                        *reply.answers, want,
+                        "reply diverges from version {v} (query {q}, cache {:?})",
+                        reply.stats.cache
+                    );
+                    checked.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        s.spawn(|| {
+            for v in 0..UPDATES {
+                std::thread::sleep(std::time::Duration::from_millis(3));
+                let n = BASE + v;
+                let snap = service
+                    .update(|db| {
+                        db.insert("A", tuple_u64([n, n + 1]))?;
+                        db.insert("E", tuple_u64([n, n + 1]))?;
+                        Ok(())
+                    })
+                    .expect("update succeeds");
+                assert_eq!(snap.version(), v + 1);
+            }
+        });
+    });
+
+    assert_eq!(checked.load(Ordering::Relaxed), readers * rounds);
+    let stats = service.stats();
+    assert_eq!(stats.queries, (readers * rounds) as u64);
+    assert_eq!(stats.truncated, 0);
+    assert_eq!(stats.snapshot_version, UPDATES);
+    assert_eq!(stats.snapshot_updates, UPDATES);
+    // The final cache only holds entries for the final version: re-asking
+    // any query must produce answers for the live snapshot.
+    for q in &queries {
+        let reply = service.query(q).expect("post-run query succeeds");
+        assert_eq!(reply.stats.snapshot_version, UPDATES);
+        let want = answer_query(&oracles[UPDATES as usize], q).expect("oracle answers");
+        assert_eq!(*reply.answers, want, "stale cache entry for {q}");
+    }
+}
+
+#[test]
+fn budgeted_concurrent_replies_are_sound_underapproximations() {
+    let tight = EvalBudget::unlimited().with_max_tuples(40);
+    let service = QueryService::new(
+        tc(),
+        db_at_version(0),
+        ServeConfig {
+            budget: tight,
+            ..ServeConfig::default()
+        },
+    );
+    let oracles = oracles();
+    let queries = reader_queries();
+
+    std::thread::scope(|s| {
+        for r in 0..4 {
+            let service = &service;
+            let oracles = &oracles;
+            let queries = &queries;
+            s.spawn(move || {
+                for i in 0..16 {
+                    let q = &queries[(r * 5 + i) % queries.len()];
+                    let reply = service.query(q).expect("query succeeds");
+                    let v = reply.stats.snapshot_version as usize;
+                    let want = answer_query(&oracles[v], q).expect("oracle answers");
+                    if reply.outcome.is_complete() {
+                        assert_eq!(*reply.answers, want, "Complete reply missed tuples");
+                    } else {
+                        // Soundly truncated: a subset of the true answers.
+                        for t in reply.answers.iter() {
+                            assert!(
+                                want.contains(t),
+                                "truncated reply over-approximated for {q}"
+                            );
+                        }
+                    }
+                }
+            });
+        }
+        s.spawn(|| {
+            for v in 0..UPDATES {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                let n = BASE + v;
+                service
+                    .update(|db| {
+                        db.insert("A", tuple_u64([n, n + 1]))?;
+                        db.insert("E", tuple_u64([n, n + 1]))?;
+                        Ok(())
+                    })
+                    .expect("update succeeds");
+            }
+        });
+    });
+
+    // Truncated answers must never have been cached.
+    let stats = service.stats();
+    assert_eq!(stats.cache.insertions, stats.complete - stats.cache.hits);
+}

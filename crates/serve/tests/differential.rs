@@ -1,0 +1,105 @@
+//! Differential property tests for the serving layer: for random bound
+//! queries over random workloads, the class-aware point-query kernel must
+//! return exactly what filtering the full governed saturation returns —
+//! with the cache on and off, and across a snapshot update.
+
+use proptest::prelude::*;
+use recurs_datalog::database::Database;
+use recurs_datalog::eval::{answer_query, semi_naive};
+use recurs_datalog::relation::{Relation, Tuple};
+use recurs_datalog::term::{Atom, Value};
+use recurs_serve::{CacheOutcome, QueryService, ServeConfig};
+use recurs_workload::{random_database, random_linear_recursion, random_query, RuleConfig};
+
+/// The reference: saturate a copy of the database with the plain oracle,
+/// then select/project the query over the fixpoint.
+fn filtered_saturation(
+    lr: &recurs_datalog::rule::LinearRecursion,
+    db: &Database,
+    query: &Atom,
+) -> Relation {
+    let mut db = db.clone();
+    semi_naive(&mut db, &lr.to_program(), None).expect("oracle saturates generated workloads");
+    answer_query(&db, query).expect("oracle answers the query")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn point_kernel_equals_filtered_saturation(
+        rule_seed in 0u64..10_000,
+        db_seed in 0u64..10_000,
+        query_seed in 0u64..10_000,
+        tuples in 1usize..30,
+        domain in 2u64..7,
+        bound_prob in 0u32..=100,
+        cache_on in 0usize..2,
+    ) {
+        let lr = random_linear_recursion(rule_seed, RuleConfig::default());
+        let edb = random_database(&lr, tuples, domain, db_seed);
+        let query = random_query(&lr, domain, bound_prob, query_seed);
+        let config = ServeConfig {
+            cache_capacity: if cache_on == 1 { 256 } else { 0 },
+            ..ServeConfig::default()
+        };
+        let service = QueryService::new(lr.clone(), edb.clone(), config);
+        let kernel = service.kernel_for(&query);
+
+        // First ask: computed by the dispatched kernel.
+        let first = service.query(&query).expect("service answers the query");
+        prop_assert!(first.outcome.is_complete(), "unbudgeted query truncated");
+        let want = filtered_saturation(&lr, &edb, &query);
+        prop_assert_eq!(
+            &*first.answers, &want,
+            "kernel {:?} ≠ filtered saturation (rule_seed={} db_seed={} query={} rule={})",
+            kernel, rule_seed, db_seed, query, lr.recursive_rule
+        );
+
+        // Second ask: served from cache when enabled; identical either way.
+        let second = service.query(&query).expect("repeat query succeeds");
+        prop_assert_eq!(&*second.answers, &want);
+        if cache_on == 1 {
+            prop_assert_eq!(second.stats.cache, CacheOutcome::Hit);
+        } else {
+            prop_assert_eq!(second.stats.cache, CacheOutcome::Bypass);
+        }
+
+        // Install a new snapshot (one extra random tuple in the first EDB
+        // relation) and re-check equivalence against the *new* database.
+        let (rel_name, arity) = {
+            let snap = service.snapshot();
+            let (name, rel) = snap
+                .database()
+                .iter()
+                .next()
+                .expect("generated workloads have at least one EDB relation");
+            (name, rel.arity())
+        };
+        let extra: Tuple = (0..arity)
+            .map(|i| Value::from_u64((db_seed + query_seed + i as u64) % domain + 1))
+            .collect();
+        service
+            .update(|db| db.insert(rel_name, extra.clone()).map(|_| ()))
+            .expect("snapshot update succeeds");
+
+        let new_db = {
+            let snap = service.snapshot();
+            prop_assert_eq!(snap.version(), 1);
+            snap.database().clone()
+        };
+        let want_after = filtered_saturation(&lr, &new_db, &query);
+        let third = service.query(&query).expect("post-update query succeeds");
+        prop_assert!(third.outcome.is_complete());
+        if cache_on == 1 {
+            // A new version must never be served from the old version's cache.
+            prop_assert_eq!(third.stats.cache, CacheOutcome::Miss);
+        }
+        prop_assert_eq!(third.stats.snapshot_version, 1);
+        prop_assert_eq!(
+            &*third.answers, &want_after,
+            "post-update answers diverge (rule_seed={} db_seed={} query={})",
+            rule_seed, db_seed, query
+        );
+    }
+}

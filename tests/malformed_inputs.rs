@@ -92,6 +92,7 @@ fn cli_run_reports_typed_errors_for_bad_programs() {
                 timeout_ms: None,
                 max_tuples: None,
                 max_iterations: None,
+                stats_json: false,
             },
             src,
         )

@@ -1,0 +1,348 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so — like the vendored
+//! `rand`, `proptest` and `criterion` crates — this implements exactly the
+//! API subset the workspace uses: a [`Serialize`] trait that renders a type
+//! into a [`Value`] tree, plus a JSON emitter ([`json::to_string`] and
+//! [`json::to_string_pretty`]). There is no `Deserialize`, no derive macro,
+//! and no data-format abstraction; types implement [`Serialize`] by hand.
+//!
+//! The [`Value`] tree is deliberately small: null, booleans, integers,
+//! floats, strings, arrays, and objects with insertion-ordered keys. The
+//! JSON emitter escapes strings per RFC 8259 and renders non-finite floats
+//! as `null` (JSON has no NaN/Infinity).
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A dynamically-typed serialization tree, rendered to JSON by [`json`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer (the common case for counters and sizes).
+    UInt(u64),
+    /// A signed integer.
+    Int(i64),
+    /// A floating-point number. Non-finite values emit as `null`.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An object; keys keep their insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn object<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Value)>) -> Value {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array from values.
+    pub fn array(items: impl IntoIterator<Item = Value>) -> Value {
+        Value::Array(items.into_iter().collect())
+    }
+
+    /// Builds a string value.
+    pub fn string(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Looks up a key in an object value; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Renders `self` as a serialization tree.
+    fn to_value(&self) -> Value;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for u64 {
+    fn to_value(&self) -> Value {
+        Value::UInt(*self)
+    }
+}
+
+impl Serialize for u32 {
+    fn to_value(&self) -> Value {
+        Value::UInt(u64::from(*self))
+    }
+}
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::UInt(*self as u64)
+    }
+}
+
+impl Serialize for i64 {
+    fn to_value(&self) -> Value {
+        Value::Int(*self)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+/// JSON rendering of [`Value`] trees (the `serde_json` subset).
+pub mod json {
+    use super::{Serialize, Value};
+    use std::fmt::Write as _;
+
+    /// Renders a value as compact single-line JSON.
+    pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut out = String::new();
+        write_value(&mut out, &value.to_value());
+        out
+    }
+
+    /// Renders a value as indented multi-line JSON (two-space indent).
+    pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut out = String::new();
+        write_value_pretty(&mut out, &value.to_value(), 0);
+        out
+    }
+
+    fn write_value(out: &mut String, value: &Value) {
+        match value {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::Float(x) => super::write_json_float(out, *x),
+            Value::Str(s) => super::write_json_string(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_value(out, item);
+                }
+                out.push(']');
+            }
+            Value::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    super::write_json_string(out, k);
+                    out.push(':');
+                    write_value(out, v);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_value_pretty(out: &mut String, value: &Value, depth: usize) {
+        match value {
+            Value::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    write_value_pretty(out, item, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Value::Object(pairs) if !pairs.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    super::write_json_string(out, k);
+                    out.push_str(": ");
+                    write_value_pretty(out, v, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            other => write_value(out, other),
+        }
+    }
+
+    fn indent(out: &mut String, depth: usize) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    }
+}
+
+fn write_json_float(out: &mut String, x: f64) {
+    if x.is_finite() {
+        // Always include a decimal point or exponent so the value reads
+        // back as a float, matching serde_json.
+        let rendered = format!("{x}");
+        out.push_str(&rendered);
+        if !rendered.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(json::to_string(&true), "true");
+        assert_eq!(json::to_string(&42u64), "42");
+        assert_eq!(json::to_string(&-3i64), "-3");
+        assert_eq!(json::to_string(&1.5f64), "1.5");
+        assert_eq!(json::to_string(&2.0f64), "2.0");
+        assert_eq!(json::to_string(&f64::NAN), "null");
+        assert_eq!(json::to_string("hi"), "\"hi\"");
+        assert_eq!(json::to_string(&Option::<u64>::None), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(
+            json::to_string("a\"b\\c\nd\te\u{1}"),
+            "\"a\\\"b\\\\c\\nd\\te\\u0001\""
+        );
+    }
+
+    #[test]
+    fn composites_render_in_order() {
+        let v = Value::object([
+            ("b", Value::UInt(1)),
+            ("a", Value::array([Value::Null, Value::Bool(false)])),
+        ]);
+        assert_eq!(json::to_string(&v), "{\"b\":1,\"a\":[null,false]}");
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let v = Value::object([("xs", Value::array([Value::UInt(1), Value::UInt(2)]))]);
+        let pretty = json::to_string_pretty(&v);
+        assert_eq!(pretty, "{\n  \"xs\": [\n    1,\n    2\n  ]\n}");
+    }
+
+    #[test]
+    fn empty_composites_stay_compact_in_pretty_mode() {
+        let v = Value::object([("a", Value::Array(vec![])), ("o", Value::Object(vec![]))]);
+        assert_eq!(
+            json::to_string_pretty(&v),
+            "{\n  \"a\": [],\n  \"o\": {}\n}"
+        );
+    }
+
+    #[test]
+    fn object_get_looks_up_keys() {
+        let v = Value::object([("k", Value::UInt(7))]);
+        assert_eq!(v.get("k"), Some(&Value::UInt(7)));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Value::Null.get("k"), None);
+    }
+}
