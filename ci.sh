@@ -25,4 +25,24 @@ echo "==> cargo test fault-injection suite"
 cargo test -p recurs-engine --features fault-inject --offline -q
 cargo test -p recurs-serve --features fault-inject --offline -q
 
+# The observability spine is linted and tested in both feature shapes: the
+# default build (recorder + aggregator + Prometheus text only) and with the
+# JSON-lines trace sink compiled in.
+echo "==> recurs-obs lanes (default and --features trace-json)"
+cargo clippy -p recurs-obs --all-targets --offline -- -D warnings
+cargo clippy -p recurs-obs --all-targets --features trace-json --offline -- -D warnings
+cargo test -p recurs-obs --offline -q
+cargo test -p recurs-obs --features trace-json --offline -q
+
+# Serve protocol smoke test: a spawned `serve --stdin` session must answer
+# `!metrics` with parseable Prometheus exposition text.
+echo "==> serve !metrics smoke test"
+cargo test -p recurs-cli --offline -q --test cli_process \
+  serve_stdin_answers_metrics_with_parseable_prometheus_text
+
+# Benchmark regression tripwire: re-times the smallest engine_scaling sizes
+# and diffs against BENCH_engine.json (drift-corrected; fails above 25%).
+echo "==> bench_compare --quick"
+cargo run --release --offline -p recurs-bench --bin bench_compare -- --quick --samples 5
+
 echo "==> OK"

@@ -81,6 +81,7 @@ fn engine_fixpoint(db: &Database, f: &LinearRecursion, mode: EngineMode) -> Data
     let config = EngineConfig {
         mode,
         budget: EvalBudget::unlimited(),
+        ..EngineConfig::default()
     };
     let sat = run_linear(&mut db, f, &config).unwrap();
     assert!(sat.outcome.is_complete());

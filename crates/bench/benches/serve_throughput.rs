@@ -79,6 +79,7 @@ fn cold_full_saturation(db: &Database, f: &LinearRecursion, query: &Atom) -> Rel
     let config = EngineConfig {
         mode: EngineMode::Indexed,
         budget: EvalBudget::unlimited(),
+        ..EngineConfig::default()
     };
     let sat = run_linear(&mut db, f, &config).unwrap();
     assert!(sat.outcome.is_complete());

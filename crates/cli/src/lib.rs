@@ -23,8 +23,9 @@
 use recurs_core::oracle::compare;
 use recurs_core::plan::plan_query;
 use recurs_core::report::{classification_report, plan_report};
+use recurs_core::Classification;
 use recurs_datalog::adornment::QueryForm;
-use recurs_datalog::eval::{answer_query, semi_naive, semi_naive_governed};
+use recurs_datalog::eval::{answer_query, semi_naive, semi_naive_governed_with};
 use recurs_datalog::fingerprint;
 use recurs_datalog::govern::{CancelToken, EvalBudget, Outcome};
 use recurs_datalog::parser::parse;
@@ -33,8 +34,13 @@ use recurs_datalog::validate::validate_with_generic_exit;
 use recurs_datalog::{Atom, Database};
 use recurs_engine::{EngineConfig, EngineMode};
 use recurs_igraph::build::resolution_graph;
+use recurs_igraph::component::ComponentKind;
 use recurs_igraph::dot::{to_ascii, to_dot};
+use recurs_obs::aggregate::Aggregator;
+use recurs_obs::trace::TraceWriter;
+use recurs_obs::{field, Obs, Value};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Which evaluation engine `recurs run --engine` saturates the database
@@ -107,6 +113,12 @@ pub enum Command {
         /// Also print the saturation statistics as one JSON line
         /// (requires `--engine`).
         stats_json: bool,
+        /// Write a JSON-lines evaluation trace to this file
+        /// (requires `--engine`).
+        trace: Option<String>,
+        /// Append the run's metrics in Prometheus text format
+        /// (requires `--engine`).
+        metrics: bool,
     },
     /// `recurs figure <file> [--levels k] [--dot]`
     Figure {
@@ -254,11 +266,19 @@ USAGE:
                                            partial answers and exits with code 2
                       [--stats-json]       also print the saturation statistics
                                            as one JSON line (with --engine)
+                      [--trace FILE]       write a JSON-lines evaluation trace
+                                           (classification verdict, per-rule and
+                                           per-iteration events) to FILE
+                                           (with --engine)
+                      [--metrics]          append the run's metrics in Prometheus
+                                           text format (with --engine)
 
     recurs serve <file> --stdin            serve queries over stdin/stdout: one
                                            request per line (?- P(1, y). / +A(1, 2).
-                                           / !stats / !snapshot / !quit), one JSON
-                                           reply per line
+                                           / !stats / !metrics / !snapshot /
+                                           !quit), one JSON reply per line
+                                           (!metrics: Prometheus text ending
+                                           with a # EOF line)
     recurs batch <file> [--repeat N]       answer the file's ?- queries through
                                            the query service (repeat to exercise
                                            the cache) [--stats-json: append the
@@ -322,6 +342,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut max_tuples = None;
             let mut max_iterations = None;
             let mut stats_json = false;
+            let mut trace = None;
+            let mut metrics = false;
             let rest: Vec<&String> = it.collect();
             let mut i = 0;
             while i < rest.len() {
@@ -333,6 +355,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     "--stats-json" => {
                         stats_json = true;
                         i += 1;
+                    }
+                    "--metrics" => {
+                        metrics = true;
+                        i += 1;
+                    }
+                    "--trace" => {
+                        let p = rest.get(i + 1).ok_or("--trace needs a file path")?;
+                        trace = Some((*p).clone());
+                        i += 2;
                     }
                     "--engine" => {
                         let e = rest
@@ -387,6 +418,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                      pick an engine with --engine oracle|indexed|parallel"
                     .into());
             }
+            if (trace.is_some() || metrics) && engine.is_none() {
+                return Err("--trace/--metrics observe a saturation run; \
+                     pick an engine with --engine oracle|indexed|parallel"
+                    .into());
+            }
             Ok(Command::Run {
                 file: file.clone(),
                 check,
@@ -396,6 +432,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 max_tuples,
                 max_iterations,
                 stats_json,
+                trace,
+                metrics,
             })
         }
         "serve" => {
@@ -658,6 +696,8 @@ pub fn execute(
             max_tuples,
             max_iterations,
             stats_json,
+            trace,
+            metrics,
             ..
         } => {
             let loaded = load(source)?;
@@ -714,12 +754,21 @@ pub fn execute(
                     if let Some(token) = cancel {
                         budget = budget.with_cancel(token);
                     }
+                    let (obs, trace_writer, metrics_agg) =
+                        build_run_obs(trace.as_deref(), *metrics)?;
+                    if obs.enabled() {
+                        emit_classify_verdict(&obs, &loaded.lr, *choice);
+                    }
                     let mut db = loaded.db.clone();
                     let (label, stats_line) = match choice {
                         EngineChoice::Oracle => {
-                            let stats =
-                                semi_naive_governed(&mut db, &loaded.lr.to_program(), &budget)
-                                    .map_err(|e| format!("oracle engine failed: {e}"))?;
+                            let stats = semi_naive_governed_with(
+                                &mut db,
+                                &loaded.lr.to_program(),
+                                &budget,
+                                &obs,
+                            )
+                            .map_err(|e| format!("oracle engine failed: {e}"))?;
                             if let Some(reason) = stats.truncation {
                                 outcome = Outcome::Truncated(reason);
                             }
@@ -737,6 +786,7 @@ pub fn execute(
                                     _ => EngineMode::Indexed,
                                 },
                                 budget,
+                                obs: obs.clone(),
                             };
                             let sat = recurs_engine::run_linear(&mut db, &loaded.lr, &config)
                                 .map_err(|e| format!("engine failed: {e}"))?;
@@ -811,6 +861,15 @@ pub fn execute(
                     if let Some(json) = stats_line {
                         let _ = writeln!(out, "{json}");
                     }
+                    if let Some(agg) = metrics_agg {
+                        out.push_str(&agg.prometheus_text());
+                    }
+                    if let Some(writer) = trace_writer {
+                        writer.flush();
+                        if writer.had_error() {
+                            return Err("trace write failed (trace file is incomplete)".into());
+                        }
+                    }
                 }
             }
         }
@@ -869,6 +928,76 @@ pub fn execute(
     Ok(CmdOutput { text: out, outcome })
 }
 
+/// Builds the observability sinks a `run --engine` invocation asked for:
+/// a JSON-lines [`TraceWriter`] for `--trace FILE` and a metric
+/// [`Aggregator`] for `--metrics`. Both feed from the same handle, so the
+/// trace and the Prometheus text describe the same run.
+#[allow(clippy::type_complexity)]
+fn build_run_obs(
+    trace: Option<&str>,
+    metrics: bool,
+) -> Result<(Obs, Option<Arc<TraceWriter>>, Option<Arc<Aggregator>>), String> {
+    let mut sinks: Vec<Arc<dyn recurs_obs::Recorder>> = Vec::new();
+    let mut trace_writer = None;
+    let mut metrics_agg = None;
+    if let Some(path) = trace {
+        let writer = Arc::new(
+            TraceWriter::to_file(path)
+                .map_err(|e| format!("cannot open trace file {path}: {e}"))?,
+        );
+        trace_writer = Some(writer.clone());
+        sinks.push(writer as Arc<dyn recurs_obs::Recorder>);
+    }
+    if metrics {
+        let agg = Arc::new(Aggregator::default());
+        metrics_agg = Some(agg.clone());
+        sinks.push(agg as Arc<dyn recurs_obs::Recorder>);
+    }
+    Ok((Obs::fanout(sinks), trace_writer, metrics_agg))
+}
+
+/// Emits the classification *explain* event: the formula's class verdict,
+/// each non-trivial I-graph component with its cycle weight and direction,
+/// the proven rank bound (when one exists), and the engine kernel the
+/// verdict selects. This is the provenance record tying a trace back to
+/// the paper's dispatch decision.
+fn emit_classify_verdict(obs: &Obs, lr: &LinearRecursion, choice: EngineChoice) {
+    let c = Classification::of(&lr.recursive_rule);
+    let mut class_iter = c.component_classes.iter();
+    let components: Vec<Value> = c
+        .components
+        .iter()
+        .filter(|comp| comp.is_nontrivial())
+        .map(|comp| {
+            let label = class_iter.next().map_or("?", |cl| cl.label());
+            let mut fields = vec![
+                ("class", field::s(label)),
+                ("cycles", field::uz(comp.cycles.len())),
+            ];
+            if let ComponentKind::IndependentCycle(cy) = &comp.kind {
+                fields.push(("weight", field::u(cy.magnitude())));
+                fields.push(("one_directional", field::b(cy.one_directional)));
+                fields.push(("rotational", field::b(cy.rotational)));
+            }
+            Value::object(fields)
+        })
+        .collect();
+    let kernel = match choice {
+        EngineChoice::Oracle => "semi-naive".to_string(),
+        _ => recurs_engine::select_kernel(&c).label(),
+    };
+    let mut fields = vec![
+        ("class", field::s(c.class.label())),
+        ("components", Value::Array(components)),
+        ("kernel", field::s(kernel)),
+        ("engine", field::s(choice.label())),
+    ];
+    if let Some(rank) = c.rank_bound() {
+        fields.push(("rank_bound", field::u(rank)));
+    }
+    obs.event("classify.verdict", &fields);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -913,6 +1042,8 @@ E(1, 2). E(2, 3). E(2, 4).
                 max_tuples: None,
                 max_iterations: None,
                 stats_json: false,
+                trace: None,
+                metrics: false,
             }
         );
         assert_eq!(
@@ -934,6 +1065,8 @@ E(1, 2). E(2, 3). E(2, 4).
                 max_tuples: None,
                 max_iterations: None,
                 stats_json: false,
+                trace: None,
+                metrics: false,
             }
         );
         assert!(parse_args(&args(&["run", "f.dl", "--engine", "warp"])).is_err());
@@ -978,6 +1111,8 @@ E(1, 2). E(2, 3). E(2, 4).
                 max_tuples: Some(100),
                 max_iterations: Some(7),
                 stats_json: false,
+                trace: None,
+                metrics: false,
             }
         );
         // Budget flags without an engine are a usage error.
@@ -1001,6 +1136,8 @@ E(1, 2). E(2, 3). E(2, 4).
             max_tuples,
             max_iterations,
             stats_json: false,
+            trace: None,
+            metrics: false,
         }
     }
 
@@ -1086,6 +1223,8 @@ E(1, 2). E(2, 3). E(2, 4).
                 max_tuples: None,
                 max_iterations: None,
                 stats_json: false,
+                trace: None,
+                metrics: false,
             },
             TC,
         )
@@ -1110,6 +1249,8 @@ E(1, 2). E(2, 3). E(2, 4).
                 max_tuples: None,
                 max_iterations: None,
                 stats_json: false,
+                trace: None,
+                metrics: false,
             },
             TC,
         )
@@ -1129,6 +1270,8 @@ E(1, 2). E(2, 3). E(2, 4).
                     max_tuples: None,
                     max_iterations: None,
                     stats_json: false,
+                    trace: None,
+                    metrics: false,
                 },
                 TC,
             )
@@ -1151,6 +1294,8 @@ E(1, 2). E(2, 3). E(2, 4).
                 max_tuples: None,
                 max_iterations: None,
                 stats_json: false,
+                trace: None,
+                metrics: false,
             },
             TC,
         )
@@ -1221,6 +1366,8 @@ E(1, 2). E(2, 3). E(2, 4).
                 max_tuples: None,
                 max_iterations: None,
                 stats_json: false,
+                trace: None,
+                metrics: false,
             },
             "P(x, y) :- A(x, z), P(z, y).\nP(x, y) :- E(x, y).",
         )
@@ -1243,6 +1390,8 @@ E(1, 2). E(2, 3). E(2, 4).
                 max_tuples: None,
                 max_iterations: None,
                 stats_json: false,
+                trace: None,
+                metrics: false,
             },
             src,
         )
@@ -1333,6 +1482,8 @@ E(1, 2). E(2, 3). E(2, 4).
                 max_tuples: None,
                 max_iterations: None,
                 stats_json: true,
+                trace: None,
+                metrics: false,
             }
         );
     }
@@ -1350,6 +1501,8 @@ E(1, 2). E(2, 3). E(2, 4).
                     max_tuples: None,
                     max_iterations: None,
                     stats_json: true,
+                    trace: None,
+                    metrics: false,
                 },
                 TC,
             )
@@ -1375,6 +1528,8 @@ E(1, 2). E(2, 3). E(2, 4).
                 max_tuples: None,
                 max_iterations: None,
                 stats_json: false,
+                trace: None,
+                metrics: false,
             },
             TC,
         )
@@ -1396,6 +1551,8 @@ E(1, 2). E(2, 3). E(2, 4).
                 max_tuples: None,
                 max_iterations: None,
                 stats_json: false,
+                trace: None,
+                metrics: false,
             },
             TC,
         )

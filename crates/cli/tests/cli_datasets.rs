@@ -19,6 +19,8 @@ fn run_cmd(check: bool, engine: Option<EngineChoice>) -> Command {
         max_tuples: None,
         max_iterations: None,
         stats_json: false,
+        trace: None,
+        metrics: false,
     }
 }
 

@@ -146,3 +146,250 @@ fn help_exits_zero_and_documents_exit_codes() {
     assert!(text.contains("--timeout-ms"), "{text}");
     assert!(text.contains("EXIT CODES"), "{text}");
 }
+
+/// Extracts the unsigned integer value of a flat `"key":N` pair from a
+/// JSON line (the vendored serde has no parser, and these events are flat).
+fn json_uint(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let i = line.find(&pat)? + pat.len();
+    let rest = &line[i..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[test]
+fn trace_file_reconstructs_the_run_and_cross_checks_stats_json() {
+    // The acceptance scenario: a single `run --trace` on the TC dataset
+    // produces a JSON-lines trace from which per-rule tuple counts,
+    // per-iteration deltas, the class verdict, and the total wall time can
+    // be reconstructed — and the reconstruction agrees with --stats-json.
+    let dir = std::env::temp_dir().join("recurs_cli_process_tests");
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("mkdir: {e}"));
+    let trace_path = dir.join("tc_trace.jsonl");
+    let out = recurs(&[
+        "run",
+        &dataset("transitive_closure.dl"),
+        "--engine",
+        "indexed",
+        "--stats-json",
+        "--trace",
+        trace_path.to_string_lossy().as_ref(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let trace = std::fs::read_to_string(&trace_path).unwrap_or_else(|e| panic!("read trace: {e}"));
+    let lines: Vec<&str> = trace.lines().collect();
+    assert!(!lines.is_empty(), "trace is empty");
+    for (i, line) in lines.iter().enumerate() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "trace line {i} is not a JSON object: {line}"
+        );
+        assert_eq!(json_uint(line, "seq"), Some(i as u64), "bad seq: {line}");
+        assert!(json_uint(line, "ts_us").is_some(), "no ts_us: {line}");
+    }
+
+    // Classification provenance: the TC formula is class A3 and the engine
+    // dispatches the frontier kernel.
+    let verdict = lines
+        .iter()
+        .find(|l| l.contains("\"kind\":\"classify.verdict\""))
+        .unwrap_or_else(|| panic!("no classify.verdict event in {trace}"));
+    assert!(verdict.contains("\"class\":\"A5\""), "{verdict}");
+    assert!(verdict.contains("\"kernel\":\"frontier\""), "{verdict}");
+    assert!(verdict.contains("\"components\":["), "{verdict}");
+    assert!(verdict.contains("\"weight\":"), "{verdict}");
+
+    // Per-rule and per-iteration provenance.
+    let rules: Vec<&&str> = lines
+        .iter()
+        .filter(|l| l.contains("\"kind\":\"engine.rule\""))
+        .collect();
+    assert!(!rules.is_empty(), "no engine.rule events in {trace}");
+    for r in &rules {
+        assert!(json_uint(r, "rows_in").is_some(), "{r}");
+        assert!(json_uint(r, "derived").is_some(), "{r}");
+        assert!(r.contains("\"head\":\"P\""), "{r}");
+    }
+    let iters: Vec<&&str> = lines
+        .iter()
+        .filter(|l| l.contains("\"kind\":\"engine.iteration\""))
+        .collect();
+    assert!(!iters.is_empty(), "no engine.iteration events in {trace}");
+
+    // Cross-check the trace against the --stats-json line.
+    let stats_stdout = stdout(&out);
+    let stats_line = stats_stdout
+        .lines()
+        .find(|l| l.contains("\"tuples_derived\":"))
+        .unwrap_or_else(|| panic!("no stats json in {stats_stdout}"));
+    let iteration_count = json_uint(stats_line, "iteration_count").unwrap();
+    assert_eq!(iters.len() as u64, iteration_count, "{trace}");
+    let new_total: u64 = iters
+        .iter()
+        .map(|l| json_uint(l, "new_tuples").unwrap())
+        .sum();
+    assert_eq!(
+        new_total,
+        json_uint(stats_line, "tuples_derived").unwrap(),
+        "trace new_tuples disagree with stats tuples_derived"
+    );
+    let complete = lines
+        .iter()
+        .find(|l| l.contains("\"kind\":\"engine.complete\""))
+        .unwrap_or_else(|| panic!("no engine.complete event in {trace}"));
+    assert!(
+        json_uint(complete, "total_duration_us").is_some(),
+        "{complete}"
+    );
+    assert_eq!(
+        json_uint(complete, "tuples_derived").unwrap(),
+        json_uint(stats_line, "tuples_derived").unwrap()
+    );
+}
+
+#[test]
+fn truncated_trace_names_the_cause() {
+    let dir = std::env::temp_dir().join("recurs_cli_process_tests");
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("mkdir: {e}"));
+    let trace_path = dir.join("trunc_trace.jsonl");
+    let out = recurs(&[
+        "run",
+        &dataset("unbounded_s9.dl"),
+        "--engine",
+        "indexed",
+        "--max-tuples",
+        "2",
+        "--trace",
+        trace_path.to_string_lossy().as_ref(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    let trace = std::fs::read_to_string(&trace_path).unwrap_or_else(|e| panic!("read trace: {e}"));
+    let truncated = trace
+        .lines()
+        .find(|l| l.contains("\"kind\":\"engine.truncated\""))
+        .unwrap_or_else(|| panic!("no engine.truncated event in {trace}"));
+    assert!(
+        truncated.contains("\"reason\":\"tuple ceiling\""),
+        "{truncated}"
+    );
+}
+
+/// Checks one Prometheus text exposition: `# TYPE`/`# EOF` comment lines
+/// plus `name{labels} value` samples, nothing else. Returns the sample
+/// count so callers can assert non-emptiness.
+fn check_prometheus_text(text: &str) -> usize {
+    let mut samples = 0;
+    let mut saw_eof = false;
+    for line in text.lines() {
+        assert!(!saw_eof, "content after # EOF: {line}");
+        if line == "# EOF" {
+            saw_eof = true;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().unwrap_or_default();
+            let kind = parts.next().unwrap_or_default();
+            assert!(!name.is_empty(), "bad TYPE line: {line}");
+            assert!(
+                kind == "counter" || kind == "histogram",
+                "bad TYPE kind: {line}"
+            );
+            continue;
+        }
+        // Sample: name{labels} value  (labels optional).
+        let (series, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("bad sample line: {line}"));
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "unparseable sample value: {line}"
+        );
+        let name_end = series.find('{').unwrap_or(series.len());
+        let name = &series[..name_end];
+        assert!(
+            name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "bad metric name: {line}"
+        );
+        if let Some(open) = series.find('{') {
+            assert!(series.ends_with('}'), "unclosed label set: {line}");
+            let labels = &series[open + 1..series.len() - 1];
+            for pair in labels.split(',') {
+                let (k, v) = pair
+                    .split_once('=')
+                    .unwrap_or_else(|| panic!("bad label pair in {line}"));
+                assert!(!k.is_empty() && v.starts_with('"') && v.ends_with('"'));
+            }
+        }
+        samples += 1;
+    }
+    assert!(saw_eof, "missing # EOF terminator:\n{text}");
+    samples
+}
+
+#[test]
+fn metrics_flag_appends_parseable_prometheus_text() {
+    let out = recurs(&[
+        "run",
+        &dataset("transitive_closure.dl"),
+        "--engine",
+        "indexed",
+        "--metrics",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let text = stdout(&out);
+    let metrics_start = text
+        .find("# TYPE")
+        .unwrap_or_else(|| panic!("no Prometheus text in {text}"));
+    let samples = check_prometheus_text(&text[metrics_start..]);
+    assert!(samples > 0);
+    assert!(text.contains("recurs_engine_iterations_total"), "{text}");
+    assert!(
+        text.contains("recurs_engine_runs_total{kernel=\"frontier\"}"),
+        "{text}"
+    );
+}
+
+#[test]
+fn serve_stdin_answers_metrics_with_parseable_prometheus_text() {
+    use std::io::Write as _;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_recurs"))
+        .args(["serve", &dataset("transitive_closure.dl"), "--stdin"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap_or_else(|e| panic!("cannot spawn recurs serve: {e}"));
+    child
+        .stdin
+        .take()
+        .unwrap_or_else(|| panic!("no stdin"))
+        .write_all(b"?- P(1, y).\n!metrics\n!quit\n")
+        .unwrap_or_else(|e| panic!("write stdin: {e}"));
+    let out = child
+        .wait_with_output()
+        .unwrap_or_else(|e| panic!("wait: {e}"));
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let text = stdout(&out);
+    let first_newline = text
+        .find('\n')
+        .unwrap_or_else(|| panic!("no reply: {text}"));
+    assert!(
+        text[..first_newline].contains("\"type\":\"answers\""),
+        "{text}"
+    );
+    let metrics = &text[first_newline + 1..];
+    let samples = check_prometheus_text(metrics);
+    assert!(samples > 0, "{metrics}");
+    assert!(metrics.contains("recurs_serve_queries_total"), "{metrics}");
+    assert!(
+        metrics.contains("recurs_serve_query_seconds_bucket"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("recurs_serve_cache_ops_total"),
+        "{metrics}"
+    );
+}

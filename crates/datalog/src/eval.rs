@@ -7,11 +7,12 @@
 use crate::algebra::{join, product, select_col_eq, select_eq};
 use crate::database::Database;
 use crate::error::DatalogError;
-use crate::govern::{EvalBudget, Progress, TruncationReason};
+use crate::govern::{EvalBudget, Governor, Progress, TruncationReason};
 use crate::relation::{Relation, Tuple};
 use crate::rule::{Program, Rule};
 use crate::symbol::Symbol;
 use crate::term::{Atom, Term, Value};
+use recurs_obs::{field, Obs};
 use std::borrow::Cow;
 use std::collections::{BTreeSet, HashMap};
 
@@ -45,6 +46,80 @@ impl serde::Serialize for EvalStats {
             ("truncated", self.truncated.to_value()),
             ("truncation", self.truncation.to_value()),
         ])
+    }
+}
+
+/// Emits the oracle's per-iteration provenance event (`eval.iteration`),
+/// with the remaining headroom under each armed budget ceiling so a trace
+/// shows how close the run came to every wall.
+fn emit_eval_iteration(
+    obs: &Obs,
+    governor: &Governor,
+    db: &Database,
+    iteration: usize,
+    delta_in: usize,
+    derived: usize,
+    tuples_total: usize,
+) {
+    if !obs.enabled() {
+        return;
+    }
+    obs.counter("recurs_eval_iterations_total", &[], 1);
+    obs.counter("recurs_eval_tuples_derived_total", &[], derived as u64);
+    let headroom = governor.headroom(&Progress {
+        iterations: iteration,
+        tuples: tuples_total,
+        delta: 0,
+        memory_bytes: db.approx_bytes(),
+    });
+    let mut fields = vec![
+        ("iteration", field::uz(iteration)),
+        ("delta_in", field::uz(delta_in)),
+        ("derived", field::uz(derived)),
+        ("tuples_total", field::uz(tuples_total)),
+    ];
+    if let Some(t) = headroom.time_left {
+        fields.push(("time_left_us", field::us(t)));
+    }
+    if let Some(n) = headroom.tuples_left {
+        fields.push(("tuples_left", field::uz(n)));
+    }
+    if let Some(n) = headroom.iterations_left {
+        fields.push(("iterations_left", field::uz(n)));
+    }
+    if let Some(n) = headroom.memory_left {
+        fields.push(("memory_left_bytes", field::uz(n)));
+    }
+    obs.event("eval.iteration", &fields);
+}
+
+/// Emits the oracle's terminal event: `eval.truncated` (naming the
+/// truncation cause exactly as [`TruncationReason`] displays it) or
+/// `eval.complete`.
+fn emit_eval_end(obs: &Obs, stats: &EvalStats) {
+    if !obs.enabled() {
+        return;
+    }
+    match stats.truncation {
+        Some(reason) => {
+            let label = reason.to_string();
+            obs.counter("recurs_eval_truncations_total", &[("reason", &label)], 1);
+            obs.event(
+                "eval.truncated",
+                &[
+                    ("reason", field::s(label)),
+                    ("iterations", field::uz(stats.iterations)),
+                    ("tuples_derived", field::uz(stats.tuples_derived)),
+                ],
+            );
+        }
+        None => obs.event(
+            "eval.complete",
+            &[
+                ("iterations", field::uz(stats.iterations)),
+                ("tuples_derived", field::uz(stats.tuples_derived)),
+            ],
+        ),
     }
 }
 
@@ -455,6 +530,18 @@ pub fn naive_governed(
     program: &Program,
     budget: &EvalBudget,
 ) -> Result<EvalStats, DatalogError> {
+    naive_governed_with(db, program, budget, &Obs::noop())
+}
+
+/// [`naive_governed`] with an observability handle: emits `eval.iteration`
+/// per round and `eval.truncated`/`eval.complete` at the end. With the
+/// no-op handle ([`Obs::noop`]) this is [`naive_governed`] exactly.
+pub fn naive_governed_with(
+    db: &mut Database,
+    program: &Program,
+    budget: &EvalBudget,
+    obs: &Obs,
+) -> Result<EvalStats, DatalogError> {
     let governor = budget.start();
     declare_idb(db, program)?;
     let mut stats = EvalStats::default();
@@ -466,6 +553,7 @@ pub fn naive_governed(
             memory_bytes: db.approx_bytes(),
         }) {
             stats.truncate(reason);
+            emit_eval_end(obs, &stats);
             return Ok(stats);
         }
         stats.iterations += 1;
@@ -484,7 +572,17 @@ pub fn naive_governed(
             }
         }
         stats.tuples_derived += new_tuples;
+        emit_eval_iteration(
+            obs,
+            &governor,
+            db,
+            stats.iterations,
+            0,
+            new_tuples,
+            stats.tuples_derived,
+        );
         if new_tuples == 0 {
+            emit_eval_end(obs, &stats);
             return Ok(stats);
         }
     }
@@ -521,6 +619,21 @@ pub fn semi_naive_governed(
     program: &Program,
     budget: &EvalBudget,
 ) -> Result<EvalStats, DatalogError> {
+    semi_naive_governed_with(db, program, budget, &Obs::noop())
+}
+
+/// [`semi_naive_governed`] with an observability handle: emits one
+/// `eval.iteration` event per round (incoming delta size, tuples derived,
+/// and budget headroom) and a terminal `eval.truncated`/`eval.complete`
+/// event naming the truncation cause. With the no-op handle
+/// ([`Obs::noop`]) this is [`semi_naive_governed`] exactly — no field
+/// arrays are built and no clocks are read.
+pub fn semi_naive_governed_with(
+    db: &mut Database,
+    program: &Program,
+    budget: &EvalBudget,
+    obs: &Obs,
+) -> Result<EvalStats, DatalogError> {
     let governor = budget.start();
     declare_idb(db, program)?;
     let idb: BTreeSet<Symbol> = program.idb_predicates();
@@ -535,6 +648,7 @@ pub fn semi_naive_governed(
         memory_bytes: db.approx_bytes(),
     }) {
         stats.truncate(reason);
+        emit_eval_end(obs, &stats);
         return Ok(stats);
     }
 
@@ -566,7 +680,17 @@ pub fn semi_naive_governed(
         added
     };
     stats.iterations += 1;
-    stats.tuples_derived += merge(db, delta);
+    let seeded = merge(db, delta);
+    stats.tuples_derived += seeded;
+    emit_eval_iteration(
+        obs,
+        &governor,
+        db,
+        stats.iterations,
+        0,
+        seeded,
+        stats.tuples_derived,
+    );
     // The delta for the first recursive round is everything present after
     // iteration 0 — including tuples pre-seeded into IDB relations by the
     // caller (e.g. magic-set seeds), which recursive rules must see.
@@ -586,6 +710,7 @@ pub fn semi_naive_governed(
 
     loop {
         if true_delta.values().all(Relation::is_empty) {
+            emit_eval_end(obs, &stats);
             return Ok(stats);
         }
         let pending_delta: usize = true_delta.values().map(Relation::len).sum();
@@ -596,6 +721,7 @@ pub fn semi_naive_governed(
             memory_bytes: db.approx_bytes(),
         }) {
             stats.truncate(reason);
+            emit_eval_end(obs, &stats);
             return Ok(stats);
         }
         stats.iterations += 1;
@@ -652,12 +778,23 @@ pub fn semi_naive_governed(
         }
         let added = merge(db, derived);
         stats.tuples_derived += added;
+        emit_eval_iteration(
+            obs,
+            &governor,
+            db,
+            stats.iterations,
+            pending_delta,
+            added,
+            stats.tuples_derived,
+        );
         true_delta = next_delta;
         if let Some(reason) = interrupted {
             stats.truncate(reason);
+            emit_eval_end(obs, &stats);
             return Ok(stats);
         }
         if added == 0 {
+            emit_eval_end(obs, &stats);
             return Ok(stats);
         }
     }

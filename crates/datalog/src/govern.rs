@@ -305,6 +305,40 @@ impl Governor {
         }
         None
     }
+
+    /// Remaining room under each armed ceiling given current progress
+    /// (`None` for ceilings that aren't set). Observability events attach
+    /// this so a trace shows not just what a run did but how close it came
+    /// to each budget wall.
+    pub fn headroom(&self, progress: &Progress) -> BudgetHeadroom {
+        BudgetHeadroom {
+            time_left: self
+                .deadline
+                .map(|d| d.saturating_duration_since(Instant::now())),
+            tuples_left: self.max_tuples.map(|c| c.saturating_sub(progress.tuples)),
+            iterations_left: self
+                .max_iterations
+                .map(|c| c.saturating_sub(progress.iterations)),
+            memory_left: self
+                .max_memory_bytes
+                .map(|c| c.saturating_sub(progress.memory_bytes)),
+        }
+    }
+}
+
+/// Remaining room under each armed [`EvalBudget`] ceiling, from
+/// [`Governor::headroom`]. Purely informational — governance decisions go
+/// through [`Governor::check`]/[`Governor::poll`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BudgetHeadroom {
+    /// Time left before the deadline (zero once passed).
+    pub time_left: Option<Duration>,
+    /// Tuples left under the derived-tuple ceiling.
+    pub tuples_left: Option<usize>,
+    /// Iterations left under the iteration cap.
+    pub iterations_left: Option<usize>,
+    /// Bytes left under the approximate memory ceiling.
+    pub memory_left: Option<usize>,
 }
 
 #[cfg(test)]

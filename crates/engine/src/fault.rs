@@ -11,6 +11,7 @@
 //! sleep) run *outside* it, so an injected panic never poisons the plan
 //! mutex for the next test.
 
+use recurs_obs::{field, Obs};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
@@ -81,6 +82,15 @@ impl Drop for FaultGuard {
 /// Hook called by each shard worker as it starts an iteration's work. May
 /// sleep and/or panic according to the armed plan.
 pub fn worker_start(worker: usize) {
+    worker_start_obs(worker, &Obs::noop());
+}
+
+/// [`worker_start`] with an observability handle: each injected action is
+/// announced as a `fault.injected` trace event *before* it takes effect
+/// (an injected panic unwinds, so emitting afterwards is impossible). The
+/// events make injected failures distinguishable from organic ones in a
+/// trace.
+pub fn worker_start_obs(worker: usize, obs: &Obs) {
     let (do_panic, sleep) = {
         let mut plan = plan_lock();
         match plan.as_mut() {
@@ -99,9 +109,30 @@ pub fn worker_start(worker: usize) {
         }
     };
     if let Some(d) = sleep {
+        if obs.enabled() {
+            obs.event(
+                "fault.injected",
+                &[
+                    ("kind", field::s("slowdown")),
+                    ("site", field::s("worker")),
+                    ("worker", field::uz(worker)),
+                    ("duration_us", field::us(d)),
+                ],
+            );
+        }
         std::thread::sleep(d);
     }
     if do_panic {
+        if obs.enabled() {
+            obs.event(
+                "fault.injected",
+                &[
+                    ("kind", field::s("panic")),
+                    ("site", field::s("worker")),
+                    ("worker", field::uz(worker)),
+                ],
+            );
+        }
         panic!("injected fault: worker {worker} panic");
     }
 }
@@ -109,6 +140,11 @@ pub fn worker_start(worker: usize) {
 /// Hook called at the start of the single-threaded retry after a worker
 /// panic. Panics under [`PanicMode::Always`].
 pub fn retry_start() {
+    retry_start_obs(&Obs::noop());
+}
+
+/// [`retry_start`] with an observability handle; see [`worker_start_obs`].
+pub fn retry_start_obs(obs: &Obs) {
     let do_panic = {
         let plan = plan_lock();
         matches!(
@@ -117,6 +153,12 @@ pub fn retry_start() {
         )
     };
     if do_panic {
+        if obs.enabled() {
+            obs.event(
+                "fault.injected",
+                &[("kind", field::s("panic")), ("site", field::s("retry"))],
+            );
+        }
         panic!("injected fault: retry panic");
     }
 }

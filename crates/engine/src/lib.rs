@@ -71,6 +71,7 @@ use recurs_datalog::govern::{EvalBudget, Governor, Outcome, Progress, Truncation
 use recurs_datalog::relation::Tuple;
 use recurs_datalog::rule::{LinearRecursion, Program};
 use recurs_datalog::symbol::Symbol;
+use recurs_obs::{field, Obs};
 use std::collections::{BTreeMap, BTreeSet};
 use std::hash::{Hash, Hasher};
 use std::time::Instant;
@@ -108,6 +109,11 @@ pub struct EngineConfig {
     /// the seeding round plus at most `k - 1` recursive rounds, the same
     /// definition `recurs_datalog::eval` uses.
     pub budget: EvalBudget,
+    /// Observability handle. The default ([`Obs::noop`]) records nothing
+    /// and costs one predictable branch per emission site; an active
+    /// handle receives `engine.*` provenance events, per-iteration
+    /// counters, and iteration-duration histograms.
+    pub obs: Obs,
 }
 
 /// Saturates `db` with the program's consequences using the kernel selected
@@ -121,6 +127,17 @@ pub fn run_linear(
 ) -> Result<Saturation, EngineError> {
     let classification = recurs_core::Classification::of(&lr.recursive_rule);
     let kernel = select_kernel(&classification);
+    if config.obs.enabled() {
+        // The dispatch decision: which class the formula fell in and which
+        // compiled form the engine chose for it.
+        config.obs.event(
+            "engine.dispatch",
+            &[
+                ("class", field::s(classification.class.label())),
+                ("kernel", field::s(kernel.label())),
+            ],
+        );
+    }
     run_with_kernel(db, &lr.to_program(), kernel, config)
 }
 
@@ -137,9 +154,9 @@ pub fn run_program(
 
 const UNLOADED_RELATION: &str = "compiled rule references a relation the driver never loaded";
 
-/// Derived tuples of one iteration, grouped by head predicate (one entry per
-/// executed rule variant).
-type Derivations = Vec<(Symbol, Vec<Tuple>)>;
+/// Derived tuples of one iteration: one entry per executed rule variant,
+/// tagged with the variant's index so per-rule fan-out is attributable.
+type Derivations = Vec<(usize, Symbol, Vec<Tuple>)>;
 
 /// Saturates `db` with a specific kernel. [`run_linear`] selects the kernel
 /// automatically; this entry point exists for tests and experiments.
@@ -200,6 +217,7 @@ pub fn run_with_kernel(
     }
 
     let threads = config.mode.threads();
+    let obs = &config.obs;
     let mut stats = EngineStats {
         kernel: Some(kernel),
         threads,
@@ -207,6 +225,25 @@ pub fn run_with_kernel(
     };
     let mut counters = ProbeCounters::default();
     let mut truncation: Option<TruncationReason> = None;
+
+    if obs.enabled() {
+        let kernel_label = kernel.label();
+        obs.counter("recurs_engine_runs_total", &[("kernel", &kernel_label)], 1);
+        obs.event(
+            "engine.start",
+            &[
+                ("kernel", field::s(kernel_label)),
+                (
+                    "mode",
+                    field::s(match config.mode {
+                        EngineMode::Indexed => "indexed",
+                        EngineMode::Parallel { .. } => "parallel",
+                    }),
+                ),
+                ("threads", field::uz(threads)),
+            ],
+        );
+    }
 
     'run: {
         // A budget can trip before any work (cancelled token, zero timeout,
@@ -224,30 +261,37 @@ pub fn run_with_kernel(
         // Iteration 0: non-recursive rules against the EDB (single-threaded
         // — seeding is a one-off, the loop below is the hot path).
         let t0 = Instant::now();
-        let mut candidates: Vec<(Symbol, Vec<Tuple>)> = Vec::new();
+        let mut candidates: Derivations = Vec::new();
+        let mut rule_rows: Vec<(usize, usize)> = Vec::new();
         let mut interrupted: Option<TruncationReason> = None;
-        for cr in &init {
+        for (i, cr) in init.iter().enumerate() {
             if interrupted.is_some() {
                 break;
             }
             let rows = seed_rows_full(cr, &storage)?;
+            if obs.enabled() {
+                rule_rows.push((i, rows.len()));
+            }
             let mut buf = Vec::new();
             interrupted = cr.execute(&storage, rows, &mut counters, Some(&governor), &mut buf)?;
-            candidates.push((cr.head_pred, buf));
+            candidates.push((i, cr.head_pred, buf));
         }
-        let derived0: usize = candidates.iter().map(|(_, ts)| ts.len()).sum();
+        emit_engine_rules(obs, 1, &init, &rule_rows, &candidates);
+        let derived0: usize = candidates.iter().map(|(_, _, ts)| ts.len()).sum();
         let mut ignored = BTreeMap::new();
         let new0 = merge_candidates(&mut storage, candidates, &mut ignored)?;
         stats.tuples_derived += new0;
         let d0 = t0.elapsed();
-        stats.iterations.push(IterationStats {
+        let it0 = IterationStats {
             delta_in: 0,
             derived: derived0,
             new_tuples: new0,
             duration: d0,
             busy: d0,
             workers: 1,
-        });
+        };
+        emit_engine_iteration(obs, 1, &it0);
+        stats.iterations.push(it0);
         if let Some(reason) = interrupted {
             truncation = Some(reason);
             break 'run;
@@ -296,7 +340,13 @@ pub fn run_with_kernel(
             recursive_rounds += 1;
             let t = Instant::now();
             let delta_in: usize = delta.values().map(Vec::len).sum();
+            let iteration = stats.iterations.len() + 1;
             let work = build_work(&variants, &delta);
+            let rule_rows: Vec<(usize, usize)> = if obs.enabled() {
+                work.iter().map(|(i, rows)| (*i, rows.len())).collect()
+            } else {
+                Vec::new()
+            };
 
             // Single-threaded busy time equals the iteration's wall time by
             // definition; parallel workers report their own busy durations.
@@ -314,6 +364,7 @@ pub fn run_with_kernel(
                         threads,
                         &mut counters,
                         Some(&governor),
+                        obs,
                     ) {
                         Ok((out, busy, stop)) => (out, Some(busy), stop),
                         Err(ShardFailure::Error(e)) => return Err(e),
@@ -323,11 +374,21 @@ pub fn run_with_kernel(
                             // cleanly recomputed from the same delta on the
                             // single-threaded indexed path.
                             stats.worker_panics += 1;
+                            if obs.enabled() {
+                                obs.counter("recurs_engine_worker_panics_total", &[], 1);
+                                obs.event(
+                                    "engine.worker_panic",
+                                    &[
+                                        ("iteration", field::uz(iteration)),
+                                        ("message", field::s(msg.clone())),
+                                    ],
+                                );
+                            }
                             let work = build_work(&variants, &delta);
                             let retried =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                     #[cfg(any(test, feature = "fault-inject"))]
-                                    fault::retry_start();
+                                    fault::retry_start_obs(obs);
                                     run_indexed(
                                         &variants,
                                         work,
@@ -340,6 +401,17 @@ pub fn run_with_kernel(
                                 Ok(result) => {
                                     let (out, stop) = result?;
                                     stats.degraded_iterations += 1;
+                                    if obs.enabled() {
+                                        obs.counter(
+                                            "recurs_engine_degraded_iterations_total",
+                                            &[],
+                                            1,
+                                        );
+                                        obs.event(
+                                            "engine.degraded_retry",
+                                            &[("iteration", field::uz(iteration))],
+                                        );
+                                    }
                                     (out, None, stop)
                                 }
                                 Err(payload) => {
@@ -354,12 +426,13 @@ pub fn run_with_kernel(
                 }
             };
 
-            let derived: usize = candidates.iter().map(|(_, ts)| ts.len()).sum();
+            emit_engine_rules(obs, iteration, &variants, &rule_rows, &candidates);
+            let derived: usize = candidates.iter().map(|(_, _, ts)| ts.len()).sum();
             let mut next_delta: BTreeMap<Symbol, Vec<Tuple>> = BTreeMap::new();
             let new = merge_candidates(&mut storage, candidates, &mut next_delta)?;
             stats.tuples_derived += new;
             let duration = t.elapsed();
-            stats.iterations.push(IterationStats {
+            let it = IterationStats {
                 delta_in,
                 derived,
                 new_tuples: new,
@@ -367,7 +440,9 @@ pub fn run_with_kernel(
                 busy: busy.unwrap_or(duration),
                 // A degraded (or indexed) iteration ran on one worker.
                 workers: if busy.is_some() { threads } else { 1 },
-            });
+            };
+            emit_engine_iteration(obs, iteration, &it);
+            stats.iterations.push(it);
             delta = next_delta;
             if let Some(reason) = interrupted {
                 truncation = Some(reason);
@@ -390,7 +465,100 @@ pub fn run_with_kernel(
         None => Outcome::Complete,
         Some(reason) => Outcome::Truncated(reason),
     };
+    if obs.enabled() {
+        obs.counter("recurs_engine_probes_total", &[], stats.probes);
+        obs.counter("recurs_engine_probe_hits_total", &[], stats.probe_hits);
+        match truncation {
+            Some(reason) => {
+                let label = reason.to_string();
+                obs.counter("recurs_engine_truncations_total", &[("reason", &label)], 1);
+                obs.event(
+                    "engine.truncated",
+                    &[
+                        ("reason", field::s(label)),
+                        ("iterations", field::uz(stats.iteration_count())),
+                        ("tuples_derived", field::uz(stats.tuples_derived)),
+                    ],
+                );
+            }
+            None => obs.event(
+                "engine.complete",
+                &[
+                    ("iterations", field::uz(stats.iteration_count())),
+                    ("tuples_derived", field::uz(stats.tuples_derived)),
+                    ("probes", field::u(stats.probes)),
+                    ("probe_hits", field::u(stats.probe_hits)),
+                    ("index_builds", field::u(stats.index.builds)),
+                    ("index_updates", field::u(stats.index.updates)),
+                    ("total_duration_us", field::us(stats.total_duration())),
+                ],
+            ),
+        }
+    }
     Ok(Saturation { outcome, stats })
+}
+
+/// Emits the per-iteration provenance event plus iteration counters and
+/// the iteration-duration histogram. No-op with a disabled handle.
+fn emit_engine_iteration(obs: &Obs, iteration: usize, it: &IterationStats) {
+    if !obs.enabled() {
+        return;
+    }
+    obs.counter("recurs_engine_iterations_total", &[], 1);
+    obs.counter(
+        "recurs_engine_tuples_derived_total",
+        &[],
+        it.new_tuples as u64,
+    );
+    obs.observe(
+        "recurs_engine_iteration_seconds",
+        &[],
+        it.duration.as_secs_f64(),
+    );
+    obs.event(
+        "engine.iteration",
+        &[
+            ("iteration", field::uz(iteration)),
+            ("delta_in", field::uz(it.delta_in)),
+            ("derived", field::uz(it.derived)),
+            ("new_tuples", field::uz(it.new_tuples)),
+            ("duration_us", field::us(it.duration)),
+            ("busy_us", field::us(it.busy)),
+            ("workers", field::uz(it.workers)),
+        ],
+    );
+}
+
+/// Emits one `engine.rule` event per executed variant: join fan-in (seed
+/// rows from the delta) and fan-out (candidate tuples before dedup), keyed
+/// by variant index and head predicate. No-op with a disabled handle.
+fn emit_engine_rules(
+    obs: &Obs,
+    iteration: usize,
+    variants: &[CompiledRule],
+    rule_rows: &[(usize, usize)],
+    candidates: &Derivations,
+) {
+    if !obs.enabled() {
+        return;
+    }
+    for &(vi, rows_in) in rule_rows {
+        let derived: usize = candidates
+            .iter()
+            .filter(|(ci, _, _)| *ci == vi)
+            .map(|(_, _, ts)| ts.len())
+            .sum();
+        obs.event(
+            "engine.rule",
+            &[
+                ("iteration", field::uz(iteration)),
+                ("variant", field::uz(vi)),
+                ("head", field::s(variants[vi].head_pred.to_string())),
+                ("rows_in", field::uz(rows_in)),
+                ("derived", field::uz(derived)),
+            ],
+        );
+    }
 }
 
 /// The engine's memory estimate for budget enforcement: indexed storage
@@ -453,7 +621,7 @@ fn merge_candidates(
     next_delta: &mut BTreeMap<Symbol, Vec<Tuple>>,
 ) -> Result<usize, EngineError> {
     let mut new = 0usize;
-    for (pred, tuples) in candidates {
+    for (_variant, pred, tuples) in candidates {
         let rel = storage
             .get_mut(pred)
             .ok_or(EngineError::Internal(UNLOADED_RELATION))?;
@@ -481,7 +649,7 @@ fn run_indexed(
     for (i, rows) in work {
         let mut buf = Vec::new();
         let interrupted = variants[i].execute(storage, rows, counters, governor, &mut buf)?;
-        out.push((variants[i].head_pred, buf));
+        out.push((i, variants[i].head_pred, buf));
         if let Some(reason) = interrupted {
             stop = Some(reason);
             break;
@@ -511,6 +679,7 @@ fn run_sharded(
     threads: usize,
     counters: &mut ProbeCounters,
     governor: Option<&Governor>,
+    #[allow(unused_variables)] obs: &Obs,
 ) -> Result<(Derivations, std::time::Duration, Option<TruncationReason>), ShardFailure> {
     // shards[w] holds this worker's rows for each work item.
     let mut shards: Vec<Vec<(usize, Vec<Row>)>> = (0..threads)
@@ -539,12 +708,12 @@ fn run_sharded(
             .map(|(w, items)| {
                 s.spawn(move || {
                     #[cfg(any(test, feature = "fault-inject"))]
-                    crate::fault::worker_start(w);
+                    crate::fault::worker_start_obs(w, obs);
                     #[cfg(not(any(test, feature = "fault-inject")))]
                     let _ = w;
                     let t = Instant::now();
                     let mut local = ProbeCounters::default();
-                    let mut results: Vec<(Symbol, Vec<Tuple>)> = Vec::new();
+                    let mut results: Derivations = Vec::new();
                     let mut stop: Option<TruncationReason> = None;
                     for (variant_i, rows) in items {
                         if rows.is_empty() {
@@ -554,7 +723,7 @@ fn run_sharded(
                         let mut buf = Vec::new();
                         let interrupted =
                             cr.execute(storage, rows, &mut local, governor, &mut buf)?;
-                        results.push((cr.head_pred, buf));
+                        results.push((variant_i, cr.head_pred, buf));
                         if interrupted.is_some() {
                             stop = interrupted;
                             break;
@@ -650,6 +819,7 @@ mod tests {
         let cfg = EngineConfig {
             mode: EngineMode::Parallel { threads: 4 },
             budget: EvalBudget::unlimited(),
+            ..EngineConfig::default()
         };
         let sat = run_program(&mut db2, &tc_program(), &cfg).unwrap();
         assert!(sat.outcome.is_complete());
@@ -676,6 +846,7 @@ mod tests {
         let cfg = EngineConfig {
             mode: EngineMode::Indexed,
             budget: EvalBudget::iteration_cap(Some(3)),
+            ..EngineConfig::default()
         };
         let sat = run_program(&mut db, &tc_program(), &cfg).unwrap();
         assert_eq!(
@@ -692,6 +863,7 @@ mod tests {
         let cfg = EngineConfig {
             mode: EngineMode::Indexed,
             budget: EvalBudget::unlimited().with_max_tuples(50),
+            ..EngineConfig::default()
         };
         let sat = run_program(&mut db, &tc_program(), &cfg).unwrap();
         assert_eq!(
@@ -715,6 +887,7 @@ mod tests {
         let cfg = EngineConfig {
             mode: EngineMode::Parallel { threads: 2 },
             budget: EvalBudget::unlimited().with_cancel(token),
+            ..EngineConfig::default()
         };
         let sat = run_program(&mut db, &tc_program(), &cfg).unwrap();
         assert_eq!(sat.outcome, Outcome::Truncated(TruncationReason::Cancelled));
@@ -729,6 +902,7 @@ mod tests {
         let cfg = EngineConfig {
             mode: EngineMode::Indexed,
             budget: EvalBudget::unlimited().with_max_memory_bytes(1),
+            ..EngineConfig::default()
         };
         let sat = run_program(&mut db, &tc_program(), &cfg).unwrap();
         assert_eq!(
@@ -783,6 +957,7 @@ mod tests {
         let cfg = EngineConfig {
             mode: EngineMode::Parallel { threads: 3 },
             budget: EvalBudget::unlimited(),
+            ..EngineConfig::default()
         };
         let sat = run_program(&mut db2, &tc_program(), &cfg).unwrap();
         // The degraded run still reaches the complete, correct fixpoint.
@@ -803,6 +978,7 @@ mod tests {
         let cfg = EngineConfig {
             mode: EngineMode::Parallel { threads: 2 },
             budget: EvalBudget::unlimited(),
+            ..EngineConfig::default()
         };
         let err = run_program(&mut db, &tc_program(), &cfg).unwrap_err();
         assert!(matches!(err, EngineError::WorkerPanic { .. }));

@@ -36,7 +36,7 @@ proptest! {
 
         for mode in [EngineMode::Indexed, EngineMode::Parallel { threads }] {
             let mut db = edb.clone();
-            let config = EngineConfig { mode, budget: EvalBudget::unlimited() };
+            let config = EngineConfig { mode, ..EngineConfig::default() };
             let sat = run_linear(&mut db, &lr, &config)
                 .expect("engine saturates generated workloads");
             let got = db.get("P").expect("IDB is materialized");
@@ -79,6 +79,7 @@ proptest! {
             let config = EngineConfig {
                 mode,
                 budget: EvalBudget::iteration_cap(Some(cap)),
+                ..EngineConfig::default()
             };
             let sat = run_program(&mut db, &program, &config)
                 .expect("engine runs under cap");
@@ -132,7 +133,7 @@ proptest! {
 
         // The engine under budget.
         let mut db = edb.clone();
-        let config = EngineConfig { mode: EngineMode::Indexed, budget: budget.clone() };
+        let config = EngineConfig { budget: budget.clone(), ..EngineConfig::default() };
         let sat = run_program(&mut db, &program, &config).expect("budgeted run succeeds");
         let partial = db.get("P").expect("IDB is materialized");
         for t in partial.iter() {

@@ -17,7 +17,9 @@ use recurs_datalog::relation::Relation;
 use recurs_datalog::rule::Program;
 use recurs_engine::fault::{arm, FaultPlan, PanicMode};
 use recurs_engine::{run_program, EngineConfig, EngineError, EngineMode};
+use recurs_obs::{CaptureRecorder, Obs};
 use recurs_workload::{random_database, random_linear_recursion, RuleConfig};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn tc_db(n: u64) -> Database {
@@ -35,6 +37,18 @@ fn parallel(threads: usize, budget: EvalBudget) -> EngineConfig {
     EngineConfig {
         mode: EngineMode::Parallel { threads },
         budget,
+        ..EngineConfig::default()
+    }
+}
+
+fn parallel_obs(
+    threads: usize,
+    budget: EvalBudget,
+    capture: &Arc<CaptureRecorder>,
+) -> EngineConfig {
+    EngineConfig {
+        obs: Obs::new(capture.clone()),
+        ..parallel(threads, budget)
     }
 }
 
@@ -47,16 +61,29 @@ fn one_shot_worker_panic_degrades_and_completes() {
     let mut oracle = tc_db(12);
     semi_naive(&mut oracle, &tc_program(), None).unwrap();
     let mut db = tc_db(12);
+    let capture = Arc::new(CaptureRecorder::new());
     let sat = run_program(
         &mut db,
         &tc_program(),
-        &parallel(3, EvalBudget::unlimited()),
+        &parallel_obs(3, EvalBudget::unlimited(), &capture),
     )
     .unwrap();
     assert!(sat.outcome.is_complete());
     assert_eq!(sat.stats.worker_panics, 1);
     assert_eq!(sat.stats.degraded_iterations, 1);
     assert_eq!(oracle.get("P").unwrap(), db.get("P").unwrap());
+
+    // The injected fault must be visible in the trace stream — announced
+    // before it fired, at the worker site it was armed for — alongside the
+    // engine's own containment events, so a trace reader can tell an
+    // injected failure from an organic one.
+    let injected = capture.events_of("fault.injected");
+    assert_eq!(injected.len(), 1, "one armed fault → one fault.injected");
+    assert_eq!(injected[0].text("kind"), Some("panic"));
+    assert_eq!(injected[0].text("site"), Some("worker"));
+    assert_eq!(injected[0].uint("worker"), Some(1));
+    assert_eq!(capture.events_of("engine.worker_panic").len(), 1);
+    assert_eq!(capture.events_of("engine.degraded_retry").len(), 1);
 }
 
 #[test]
@@ -96,8 +123,17 @@ fn slow_workers_trip_the_deadline_with_a_sound_subset() {
 
     let mut db = tc_db(40);
     let budget = EvalBudget::unlimited().with_timeout(Duration::from_millis(1));
-    let sat = run_program(&mut db, &tc_program(), &parallel(2, budget)).unwrap();
+    let capture = Arc::new(CaptureRecorder::new());
+    let sat = run_program(&mut db, &tc_program(), &parallel_obs(2, budget, &capture)).unwrap();
     assert_eq!(sat.outcome, Outcome::Truncated(TruncationReason::Deadline));
+    let slowdowns = capture.events_of("fault.injected");
+    assert!(
+        !slowdowns.is_empty(),
+        "armed slowdowns must surface as fault.injected events"
+    );
+    assert!(slowdowns
+        .iter()
+        .all(|e| e.text("kind") == Some("slowdown") && e.text("site") == Some("worker")));
     for t in db.get("P").unwrap().iter() {
         assert!(
             full.contains(t),

@@ -1,0 +1,285 @@
+//! Sharded in-memory metric aggregation.
+//!
+//! The [`Aggregator`] is the metrics sink: counters and histograms land in
+//! one of `N` independently locked shards (picked by hashing the metric
+//! name + label set), so concurrent workers rarely contend on the same
+//! mutex. Events are ignored — provenance goes to the trace sink. Reads
+//! ([`Aggregator::snapshot`], [`Aggregator::counter_where`]) walk every
+//! shard; they run at query/report time, never on the hot path.
+
+use crate::Recorder;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Histogram bucket upper bounds for durations, in seconds: 1µs … 60s,
+/// roughly log-spaced. Values above the last bound land in the implicit
+/// `+Inf` bucket.
+pub const SECONDS_BOUNDS: &[f64] = &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0];
+
+/// A label set, sorted by key (the aggregation identity of a series).
+pub type LabelSet = Vec<(String, String)>;
+
+fn label_set(labels: &[(&'static str, &str)]) -> LabelSet {
+    let mut set: LabelSet = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    set.sort();
+    set
+}
+
+/// A fixed-bound histogram: cumulative-ready bucket counts plus sum/count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Bucket upper bounds; `buckets` has one extra slot for `+Inf`.
+    pub bounds: &'static [f64],
+    /// Per-bucket (non-cumulative) observation counts.
+    pub buckets: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &'static [f64]) -> Histogram {
+        Histogram {
+            bounds,
+            buckets: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    fn record(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|b| value <= *b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx] += 1;
+        self.sum += value;
+        self.count += 1;
+    }
+}
+
+/// The value of one metric series in a [`snapshot`](Aggregator::snapshot).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A monotonic counter.
+    Counter(u64),
+    /// A distribution.
+    Histogram(Histogram),
+}
+
+/// One metric series: name, sorted labels, and its current value.
+#[derive(Debug, Clone)]
+pub struct Metric {
+    /// The metric name (e.g. `recurs_serve_queries_total`).
+    pub name: &'static str,
+    /// The series' label set, sorted by key.
+    pub labels: LabelSet,
+    /// The current value.
+    pub value: MetricValue,
+}
+
+#[derive(Debug)]
+enum Cell {
+    Counter(u64),
+    Histogram(Histogram),
+}
+
+type Shard = HashMap<(&'static str, LabelSet), Cell>;
+
+/// The sharded metric store. See the [module docs](self).
+#[derive(Debug)]
+pub struct Aggregator {
+    shards: Box<[Mutex<Shard>]>,
+}
+
+impl Default for Aggregator {
+    fn default() -> Aggregator {
+        Aggregator::new(8)
+    }
+}
+
+impl Aggregator {
+    /// Creates an aggregator with the given shard count (min 1).
+    pub fn new(shards: usize) -> Aggregator {
+        let n = shards.max(1);
+        Aggregator {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, name: &str, labels: &LabelSet) -> MutexGuard<'_, Shard> {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        labels.hash(&mut h);
+        let idx = (h.finish() as usize) % self.shards.len();
+        self.shards[idx]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Current value of the counter with *exactly* this label set.
+    pub fn counter_value(&self, name: &str, labels: &[(&'static str, &str)]) -> u64 {
+        let set = label_set(labels);
+        let shard = self.shard(name, &set);
+        match shard.iter().find(|((n, l), _)| *n == name && *l == set) {
+            Some((_, Cell::Counter(v))) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Sums a counter across every series whose labels contain all of
+    /// `required` (an empty slice sums all series of that name).
+    pub fn counter_where(&self, name: &str, required: &[(&str, &str)]) -> u64 {
+        let mut total = 0;
+        for shard in self.shards.iter() {
+            let shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            for ((n, labels), cell) in shard.iter() {
+                if *n == name
+                    && required
+                        .iter()
+                        .all(|(rk, rv)| labels.iter().any(|(k, v)| k == rk && v == rv))
+                {
+                    if let Cell::Counter(v) = cell {
+                        total += *v;
+                    }
+                }
+            }
+        }
+        total
+    }
+
+    /// Every series currently held, sorted by `(name, labels)` so output
+    /// is deterministic.
+    pub fn snapshot(&self) -> Vec<Metric> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            for ((name, labels), cell) in shard.iter() {
+                out.push(Metric {
+                    name,
+                    labels: labels.clone(),
+                    value: match cell {
+                        Cell::Counter(v) => MetricValue::Counter(*v),
+                        Cell::Histogram(h) => MetricValue::Histogram(h.clone()),
+                    },
+                });
+            }
+        }
+        out.sort_by(|a, b| (a.name, &a.labels).cmp(&(b.name, &b.labels)));
+        out
+    }
+
+    /// Renders the current contents in Prometheus text exposition format
+    /// (see [`crate::prometheus::render`]).
+    pub fn prometheus_text(&self) -> String {
+        crate::prometheus::render(&self.snapshot())
+    }
+}
+
+impl Recorder for Aggregator {
+    fn counter(&self, name: &'static str, labels: &[(&'static str, &str)], delta: u64) {
+        let set = label_set(labels);
+        let mut shard = self.shard(name, &set);
+        match shard.entry((name, set)).or_insert(Cell::Counter(0)) {
+            Cell::Counter(v) => *v += delta,
+            // A name can't be both a counter and a histogram; if a caller
+            // mixes kinds, the first emission wins and the rest are dropped
+            // rather than corrupting the series.
+            Cell::Histogram(_) => {}
+        }
+    }
+
+    fn observe(&self, name: &'static str, labels: &[(&'static str, &str)], value: f64) {
+        let set = label_set(labels);
+        let mut shard = self.shard(name, &set);
+        match shard
+            .entry((name, set))
+            .or_insert_with(|| Cell::Histogram(Histogram::new(SECONDS_BOUNDS)))
+        {
+            Cell::Histogram(h) => h.record(value),
+            Cell::Counter(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_aggregate_per_label_set() {
+        let agg = Aggregator::new(4);
+        agg.counter("q", &[("kernel", "magic")], 1);
+        agg.counter("q", &[("kernel", "magic")], 2);
+        agg.counter("q", &[("kernel", "saturate")], 5);
+        assert_eq!(agg.counter_value("q", &[("kernel", "magic")]), 3);
+        assert_eq!(agg.counter_value("q", &[("kernel", "saturate")]), 5);
+        assert_eq!(agg.counter_value("q", &[("kernel", "bounded")]), 0);
+        assert_eq!(agg.counter_where("q", &[]), 8);
+        assert_eq!(agg.counter_where("q", &[("kernel", "magic")]), 3);
+    }
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let agg = Aggregator::new(4);
+        agg.counter("c", &[("a", "1"), ("b", "2")], 1);
+        agg.counter("c", &[("b", "2"), ("a", "1")], 1);
+        assert_eq!(agg.counter_value("c", &[("a", "1"), ("b", "2")]), 2);
+        assert_eq!(agg.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_and_sum() {
+        let agg = Aggregator::new(1);
+        agg.observe("lat", &[], 0.0005); // ≤ 1e-3
+        agg.observe("lat", &[], 0.02); // ≤ 0.1
+        agg.observe("lat", &[], 120.0); // +Inf
+        let snap = agg.snapshot();
+        assert_eq!(snap.len(), 1);
+        match &snap[0].value {
+            MetricValue::Histogram(h) => {
+                assert_eq!(h.count, 3);
+                assert!((h.sum - 120.0205).abs() < 1e-9);
+                assert_eq!(h.buckets.iter().sum::<u64>(), 3);
+                assert_eq!(h.buckets[h.bounds.len()], 1); // +Inf slot
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_kind_emissions_do_not_corrupt_a_series() {
+        let agg = Aggregator::new(1);
+        agg.counter("m", &[], 7);
+        agg.observe("m", &[], 1.0);
+        assert_eq!(agg.counter_value("m", &[]), 7);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_deterministic() {
+        let agg = Aggregator::new(8);
+        agg.counter("b", &[], 1);
+        agg.counter("a", &[("x", "2")], 1);
+        agg.counter("a", &[("x", "1")], 1);
+        let names: Vec<_> = agg
+            .snapshot()
+            .iter()
+            .map(|m| (m.name, m.labels.clone()))
+            .collect();
+        assert_eq!(
+            names,
+            [
+                ("a", vec![("x".to_string(), "1".to_string())]),
+                ("a", vec![("x".to_string(), "2".to_string())]),
+                ("b", vec![]),
+            ]
+        );
+    }
+}

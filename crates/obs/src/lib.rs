@@ -1,0 +1,489 @@
+//! `recurs-obs` — the workspace's observability spine.
+//!
+//! Every layer of the system (the governed oracle in `recurs-datalog`, the
+//! indexed engine in `recurs-engine`, the query service in `recurs-serve`,
+//! and the CLI) reports what it is doing through one narrow interface, the
+//! [`Recorder`] trait, carried around as a cheaply cloneable [`Obs`] handle:
+//!
+//! * **Counters** ([`Recorder::counter`]) — monotonic totals such as tuples
+//!   derived or cache hits, labelled with low-cardinality dimensions
+//!   (kernel, outcome, shard).
+//! * **Histograms** ([`Recorder::observe`]) — latency/size distributions in
+//!   base units (seconds), bucketed by the [`aggregate::Aggregator`].
+//! * **Events** ([`Recorder::event`]) — structured provenance records (one
+//!   JSON object per occurrence): per-iteration deltas, per-rule join
+//!   fan-in/out, classification verdicts, truncation causes, injected
+//!   faults. Events reconstruct *why* a run behaved as it did; counters and
+//!   histograms summarize *how much*.
+//!
+//! Three sinks implement the trait:
+//!
+//! * [`aggregate::Aggregator`] — a sharded in-memory metric store that
+//!   renders to Prometheus text exposition ([`prometheus`]); events are
+//!   ignored.
+//! * `trace::TraceWriter` (behind the `trace-json` feature) — a JSON-lines
+//!   writer that persists every event with a sequence number and relative
+//!   timestamp; counters/histograms are ignored.
+//! * [`CaptureRecorder`] — an in-memory capture for tests.
+//!
+//! [`FanoutRecorder`] composes sinks, and the default handle
+//! ([`Obs::noop`]) records nothing: it holds no allocation, reports
+//! [`Obs::enabled`]` == false`, and every emission is a branch on a `None`.
+//! Instrumented code guards field construction behind `enabled()`, so the
+//! cost of carrying an `Obs` through a hot loop with the no-op recorder is
+//! one pointer-sized field and a predictable branch (bounded at ≤5% on the
+//! `engine_scaling` bench; see `BENCH_obs.json`).
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+use std::fmt;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+pub use serde::Value;
+
+pub mod aggregate;
+pub mod prometheus;
+#[cfg(feature = "trace-json")]
+pub mod trace;
+
+/// The sink interface: everything instrumented code can emit.
+///
+/// All methods have no-op defaults so a sink implements only what it
+/// consumes (the aggregator ignores events, the trace writer ignores
+/// metrics). `name`/`kind` and label *keys* are `'static` so sinks can
+/// store them without copying; label *values* and event fields are
+/// borrowed and must be copied by sinks that retain them.
+pub trait Recorder: Send + Sync + fmt::Debug {
+    /// Whether this sink wants data at all. Instrumented code checks the
+    /// handle-level [`Obs::enabled`] before building label/field arrays.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Adds `delta` to the counter `name` for the given label set.
+    fn counter(&self, _name: &'static str, _labels: &[(&'static str, &str)], _delta: u64) {}
+
+    /// Records one observation of `value` (base unit: seconds for
+    /// durations) into the histogram `name` for the given label set.
+    fn observe(&self, _name: &'static str, _labels: &[(&'static str, &str)], _value: f64) {}
+
+    /// Emits a structured event of the given kind with ordered fields.
+    fn event(&self, _kind: &'static str, _fields: &[(&'static str, Value)]) {}
+}
+
+/// A cheaply cloneable handle to a [`Recorder`] (or to nothing).
+///
+/// The default handle is the no-op: it holds no allocation and every
+/// emission short-circuits. Construct an active handle with [`Obs::new`]
+/// or [`Obs::fanout`].
+#[derive(Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<dyn Recorder>>,
+}
+
+impl fmt::Debug for Obs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            None => f.write_str("Obs(noop)"),
+            Some(r) => write!(f, "Obs({r:?})"),
+        }
+    }
+}
+
+impl Obs {
+    /// The recording-nothing handle (also [`Obs::default`]).
+    pub fn noop() -> Obs {
+        Obs { inner: None }
+    }
+
+    /// Wraps a single sink.
+    pub fn new(recorder: Arc<dyn Recorder>) -> Obs {
+        Obs {
+            inner: Some(recorder),
+        }
+    }
+
+    /// Composes several sinks; an empty list yields the no-op handle and a
+    /// single sink is used directly (no fan-out indirection).
+    pub fn fanout(mut recorders: Vec<Arc<dyn Recorder>>) -> Obs {
+        match recorders.len() {
+            0 => Obs::noop(),
+            1 => Obs {
+                inner: recorders.pop(),
+            },
+            _ => Obs {
+                inner: Some(Arc::new(FanoutRecorder { sinks: recorders })),
+            },
+        }
+    }
+
+    /// The attached recorder, if any. Lets a component compose its own
+    /// sink with an externally supplied handle via [`Obs::fanout`].
+    pub fn recorder(&self) -> Option<Arc<dyn Recorder>> {
+        self.inner.clone()
+    }
+
+    /// Whether any sink is attached and wants data. Hot paths check this
+    /// before building label or field arrays.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        match &self.inner {
+            None => false,
+            Some(r) => r.enabled(),
+        }
+    }
+
+    /// Adds `delta` to a labelled counter.
+    #[inline]
+    pub fn counter(&self, name: &'static str, labels: &[(&'static str, &str)], delta: u64) {
+        if let Some(r) = &self.inner {
+            r.counter(name, labels, delta);
+        }
+    }
+
+    /// Records one histogram observation (seconds for durations).
+    #[inline]
+    pub fn observe(&self, name: &'static str, labels: &[(&'static str, &str)], value: f64) {
+        if let Some(r) = &self.inner {
+            r.observe(name, labels, value);
+        }
+    }
+
+    /// Emits a structured event.
+    #[inline]
+    pub fn event(&self, kind: &'static str, fields: &[(&'static str, Value)]) {
+        if let Some(r) = &self.inner {
+            r.event(kind, fields);
+        }
+    }
+
+    /// Starts a span that records its wall-clock duration into the
+    /// histogram `name` when dropped (or [`Span::finish`]ed). With the
+    /// no-op handle the span takes no timestamp and records nothing.
+    pub fn span(&self, name: &'static str) -> Span {
+        Span {
+            obs: self.clone(),
+            name,
+            labels: Vec::new(),
+            start: if self.enabled() {
+                Some(Instant::now())
+            } else {
+                None
+            },
+        }
+    }
+}
+
+/// A timing guard from [`Obs::span`]: observes elapsed seconds on drop.
+#[derive(Debug)]
+pub struct Span {
+    obs: Obs,
+    name: &'static str,
+    labels: Vec<(&'static str, String)>,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Attaches a label recorded with the final observation.
+    pub fn label(mut self, key: &'static str, value: impl Into<String>) -> Span {
+        if self.start.is_some() {
+            self.labels.push((key, value.into()));
+        }
+        self
+    }
+
+    /// Ends the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            let elapsed = start.elapsed().as_secs_f64();
+            let labels: Vec<(&'static str, &str)> =
+                self.labels.iter().map(|(k, v)| (*k, v.as_str())).collect();
+            self.obs.observe(self.name, &labels, elapsed);
+        }
+    }
+}
+
+/// Shorthand constructors for event field [`Value`]s, so call sites read
+/// `("iteration", field::u(i))` rather than spelling out enum variants.
+pub mod field {
+    use super::Value;
+    use std::time::Duration;
+
+    /// An unsigned integer field.
+    pub fn u(n: u64) -> Value {
+        Value::UInt(n)
+    }
+
+    /// A `usize` field (counts, sizes).
+    pub fn uz(n: usize) -> Value {
+        Value::UInt(n as u64)
+    }
+
+    /// A signed integer field.
+    pub fn i(n: i64) -> Value {
+        Value::Int(n)
+    }
+
+    /// A float field.
+    pub fn f(x: f64) -> Value {
+        Value::Float(x)
+    }
+
+    /// A boolean field.
+    pub fn b(x: bool) -> Value {
+        Value::Bool(x)
+    }
+
+    /// A string field.
+    pub fn s(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// A duration field, rendered as integer microseconds (matching the
+    /// `_us` convention of the stats JSON).
+    pub fn us(d: Duration) -> Value {
+        Value::UInt(d.as_micros() as u64)
+    }
+}
+
+/// Broadcasts every emission to a list of sinks (built by [`Obs::fanout`]).
+#[derive(Debug)]
+pub struct FanoutRecorder {
+    sinks: Vec<Arc<dyn Recorder>>,
+}
+
+impl Recorder for FanoutRecorder {
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn counter(&self, name: &'static str, labels: &[(&'static str, &str)], delta: u64) {
+        for s in &self.sinks {
+            s.counter(name, labels, delta);
+        }
+    }
+
+    fn observe(&self, name: &'static str, labels: &[(&'static str, &str)], value: f64) {
+        for s in &self.sinks {
+            s.observe(name, labels, value);
+        }
+    }
+
+    fn event(&self, kind: &'static str, fields: &[(&'static str, Value)]) {
+        for s in &self.sinks {
+            s.event(kind, fields);
+        }
+    }
+}
+
+/// One event retained by a [`CaptureRecorder`].
+#[derive(Debug, Clone)]
+pub struct CapturedEvent {
+    /// The event kind (e.g. `engine.iteration`).
+    pub kind: String,
+    /// Ordered `(field, value)` pairs as emitted.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl CapturedEvent {
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// A field as `u64`, if present and unsigned.
+    pub fn uint(&self, name: &str) -> Option<u64> {
+        match self.field(name) {
+            Some(Value::UInt(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// A field as `&str`, if present and a string.
+    pub fn text(&self, name: &str) -> Option<&str> {
+        match self.field(name) {
+            Some(Value::Str(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+}
+
+/// One counter series retained by a [`CaptureRecorder`].
+#[derive(Debug, Clone)]
+struct CapturedCounter {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: u64,
+}
+
+#[derive(Debug, Default)]
+struct CaptureState {
+    events: Vec<CapturedEvent>,
+    counters: Vec<CapturedCounter>,
+}
+
+/// An in-memory sink for tests: retains every event and counter so suites
+/// can assert on the exact provenance a run emitted.
+#[derive(Debug, Default)]
+pub struct CaptureRecorder {
+    state: Mutex<CaptureState>,
+}
+
+impl CaptureRecorder {
+    /// A fresh, empty capture.
+    pub fn new() -> CaptureRecorder {
+        CaptureRecorder::default()
+    }
+
+    fn state(&self) -> std::sync::MutexGuard<'_, CaptureState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// All captured events, in emission order.
+    pub fn events(&self) -> Vec<CapturedEvent> {
+        self.state().events.clone()
+    }
+
+    /// Captured events of one kind, in emission order.
+    pub fn events_of(&self, kind: &str) -> Vec<CapturedEvent> {
+        self.state()
+            .events
+            .iter()
+            .filter(|e| e.kind == kind)
+            .cloned()
+            .collect()
+    }
+
+    /// The distinct event kinds seen, in first-emission order.
+    pub fn kinds(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for e in &self.state().events {
+            if !out.contains(&e.kind) {
+                out.push(e.kind.clone());
+            }
+        }
+        out
+    }
+
+    /// Total of a counter across all label sets containing `required`.
+    pub fn counter_where(&self, name: &str, required: &[(&str, &str)]) -> u64 {
+        self.state()
+            .counters
+            .iter()
+            .filter(|c| {
+                c.name == name
+                    && required
+                        .iter()
+                        .all(|(rk, rv)| c.labels.iter().any(|(k, v)| k == rk && v == rv))
+            })
+            .map(|c| c.value)
+            .sum()
+    }
+}
+
+impl Recorder for CaptureRecorder {
+    fn counter(&self, name: &'static str, labels: &[(&'static str, &str)], delta: u64) {
+        let mut state = self.state();
+        let set: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        if let Some(cell) = state
+            .counters
+            .iter_mut()
+            .find(|c| c.name == name && c.labels == set)
+        {
+            cell.value += delta;
+        } else {
+            state.counters.push(CapturedCounter {
+                name: name.to_string(),
+                labels: set,
+                value: delta,
+            });
+        }
+    }
+
+    fn event(&self, kind: &'static str, fields: &[(&'static str, Value)]) {
+        self.state().events.push(CapturedEvent {
+            kind: kind.to_string(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_handle_is_disabled_and_silent() {
+        let obs = Obs::noop();
+        assert!(!obs.enabled());
+        obs.counter("c", &[], 1);
+        obs.observe("h", &[], 0.5);
+        obs.event("k", &[("f", field::u(1))]);
+        obs.span("h").label("ignored", "x").finish();
+    }
+
+    #[test]
+    fn capture_retains_events_in_order() {
+        let cap = Arc::new(CaptureRecorder::new());
+        let obs = Obs::new(cap.clone());
+        assert!(obs.enabled());
+        obs.event("a.one", &[("n", field::u(7)), ("s", field::s("x"))]);
+        obs.event("a.two", &[]);
+        obs.event("a.one", &[("n", field::u(9))]);
+        assert_eq!(cap.kinds(), ["a.one", "a.two"]);
+        let ones = cap.events_of("a.one");
+        assert_eq!(ones.len(), 2);
+        assert_eq!(ones[0].uint("n"), Some(7));
+        assert_eq!(ones[0].text("s"), Some("x"));
+        assert_eq!(ones[1].uint("n"), Some(9));
+        assert_eq!(ones[0].uint("missing"), None);
+    }
+
+    #[test]
+    fn capture_accumulates_counters_by_label_set() {
+        let cap = Arc::new(CaptureRecorder::new());
+        let obs = Obs::new(cap.clone());
+        obs.counter("hits", &[("shard", "0")], 2);
+        obs.counter("hits", &[("shard", "0")], 3);
+        obs.counter("hits", &[("shard", "1")], 10);
+        assert_eq!(cap.counter_where("hits", &[("shard", "0")]), 5);
+        assert_eq!(cap.counter_where("hits", &[]), 15);
+        assert_eq!(cap.counter_where("misses", &[]), 0);
+    }
+
+    #[test]
+    fn fanout_broadcasts_to_every_sink() {
+        let a = Arc::new(CaptureRecorder::new());
+        let b = Arc::new(CaptureRecorder::new());
+        let obs = Obs::fanout(vec![a.clone(), b.clone()]);
+        obs.event("k", &[]);
+        obs.counter("c", &[], 4);
+        assert_eq!(a.events().len(), 1);
+        assert_eq!(b.events().len(), 1);
+        assert_eq!(b.counter_where("c", &[]), 4);
+        assert!(!Obs::fanout(Vec::new()).enabled());
+    }
+
+    #[test]
+    fn span_records_elapsed_seconds() {
+        let cap = Arc::new(CaptureRecorder::new());
+        let agg = Arc::new(aggregate::Aggregator::new(2));
+        let obs = Obs::fanout(vec![cap, agg.clone()]);
+        obs.span("recurs_test_seconds").label("path", "p").finish();
+        let snap = agg.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].name, "recurs_test_seconds");
+    }
+}

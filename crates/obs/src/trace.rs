@@ -1,0 +1,177 @@
+//! JSON-lines trace sink (behind the `trace-json` feature).
+//!
+//! A [`TraceWriter`] persists every [`event`](crate::Recorder::event) as
+//! one JSON object per line:
+//!
+//! ```json
+//! {"seq":3,"ts_us":1284,"kind":"engine.iteration","iteration":2,"delta_in":9,...}
+//! ```
+//!
+//! * `seq` — monotone per-writer sequence number, so interleavings from
+//!   concurrent emitters stay reconstructable.
+//! * `ts_us` — microseconds since the writer was created.
+//! * `kind` — the event kind; remaining keys are the event's own fields in
+//!   emission order.
+//!
+//! Counters and histograms are *not* written — they go to the
+//! [`Aggregator`](crate::aggregate::Aggregator); a trace file is pure
+//! event provenance. Write errors are sticky: the first failure disables
+//! the writer (observable via [`TraceWriter::had_error`]) rather than
+//! panicking inside instrumented code.
+
+use crate::{Recorder, Value};
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+struct Inner {
+    out: Box<dyn Write + Send>,
+    seq: u64,
+    error: bool,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field("seq", &self.seq)
+            .field("error", &self.error)
+            .finish()
+    }
+}
+
+/// A JSON-lines event sink. See the [module docs](self).
+#[derive(Debug)]
+pub struct TraceWriter {
+    start: Instant,
+    inner: Mutex<Inner>,
+}
+
+impl TraceWriter {
+    /// Wraps any writer (tests pass a `Vec<u8>` via `Cursor`).
+    pub fn new(out: Box<dyn Write + Send>) -> TraceWriter {
+        TraceWriter {
+            start: Instant::now(),
+            inner: Mutex::new(Inner {
+                out,
+                seq: 0,
+                error: false,
+            }),
+        }
+    }
+
+    /// Creates (truncating) a trace file, buffered.
+    pub fn to_file(path: impl AsRef<Path>) -> io::Result<TraceWriter> {
+        let file = File::create(path)?;
+        Ok(TraceWriter::new(Box::new(BufWriter::new(file))))
+    }
+
+    fn inner(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Flushes buffered lines to the underlying writer.
+    pub fn flush(&self) {
+        let mut inner = self.inner();
+        if inner.out.flush().is_err() {
+            inner.error = true;
+        }
+    }
+
+    /// Whether any write has failed (the writer is disabled after the
+    /// first failure).
+    pub fn had_error(&self) -> bool {
+        self.inner().error
+    }
+}
+
+impl Drop for TraceWriter {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+impl Recorder for TraceWriter {
+    fn event(&self, kind: &'static str, fields: &[(&'static str, Value)]) {
+        let ts_us = self.start.elapsed().as_micros() as u64;
+        let mut inner = self.inner();
+        if inner.error {
+            return;
+        }
+        let mut pairs: Vec<(String, Value)> = Vec::with_capacity(fields.len() + 3);
+        pairs.push(("seq".to_string(), Value::UInt(inner.seq)));
+        pairs.push(("ts_us".to_string(), Value::UInt(ts_us)));
+        pairs.push(("kind".to_string(), Value::string(kind)));
+        for (k, v) in fields {
+            pairs.push(((*k).to_string(), v.clone()));
+        }
+        let line = serde::json::to_string(&Value::Object(pairs));
+        inner.seq += 1;
+        if writeln!(inner.out, "{line}").is_err() {
+            inner.error = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{field, Obs};
+    use std::sync::Arc;
+
+    /// A shared byte buffer the writer can own while the test reads back.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn events_become_json_lines_with_seq_and_kind() {
+        let buf = SharedBuf::default();
+        let writer = Arc::new(TraceWriter::new(Box::new(buf.clone())));
+        let obs = Obs::new(writer.clone());
+        obs.event("t.alpha", &[("n", field::u(5)), ("s", field::s("x"))]);
+        obs.event("t.beta", &[("ok", field::b(true))]);
+        obs.counter("ignored", &[], 1); // metrics don't reach the trace
+        writer.flush();
+        let text = String::from_utf8(buf.0.lock().unwrap_or_else(PoisonError::into_inner).clone())
+            .unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"seq\":0,\"ts_us\":"));
+        assert!(lines[0].contains("\"kind\":\"t.alpha\""));
+        assert!(lines[0].ends_with("\"n\":5,\"s\":\"x\"}"));
+        assert!(lines[1].contains("\"seq\":1"));
+        assert!(lines[1].contains("\"ok\":true"));
+        assert!(!writer.had_error());
+    }
+
+    #[test]
+    fn write_errors_are_sticky_not_panics() {
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let writer = TraceWriter::new(Box::new(Failing));
+        writer.event("k", &[]);
+        assert!(writer.had_error());
+        writer.event("k", &[]); // silently dropped
+    }
+}

@@ -16,6 +16,7 @@
 use recurs_datalog::fingerprint::{self, Fingerprint};
 use recurs_datalog::relation::Relation;
 use recurs_datalog::term::{Atom, Term};
+use recurs_obs::Obs;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -148,6 +149,7 @@ impl Shard {
 pub struct SaturationCache {
     shards: Box<[Mutex<Shard>]>,
     capacity_per_shard: usize,
+    obs: Obs,
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
@@ -160,11 +162,20 @@ impl SaturationCache {
     /// mutex-protected shards (both floored at 1; per-shard capacity is
     /// rounded up so total capacity is at least `capacity`).
     pub fn new(capacity: usize, shards: usize) -> SaturationCache {
+        SaturationCache::with_obs(capacity, shards, Obs::noop())
+    }
+
+    /// [`SaturationCache::new`] with an observability handle: every cache
+    /// operation is additionally recorded into
+    /// `recurs_serve_cache_ops_total{op, shard}` so hit/miss/insert/evict/
+    /// invalidate rates are visible per shard.
+    pub fn with_obs(capacity: usize, shards: usize, obs: Obs) -> SaturationCache {
         let shards = shards.max(1);
         let capacity_per_shard = capacity.max(1).div_ceil(shards);
         SaturationCache {
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
             capacity_per_shard,
+            obs,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
@@ -173,24 +184,39 @@ impl SaturationCache {
         }
     }
 
-    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
+    fn shard_index(&self, key: &CacheKey) -> usize {
         let h = fingerprint::of_str(&key.query).0 ^ key.version ^ key.program.0;
-        &self.shards[(h % self.shards.len() as u64) as usize]
+        (h % self.shards.len() as u64) as usize
+    }
+
+    fn record_op(&self, op: &'static str, shard: usize, delta: u64) {
+        if delta > 0 && self.obs.enabled() {
+            self.obs.counter(
+                "recurs_serve_cache_ops_total",
+                &[("op", op), ("shard", &shard.to_string())],
+                delta,
+            );
+        }
     }
 
     /// Looks up a completed answer, refreshing its recency on a hit.
     pub fn get(&self, key: &CacheKey) -> Option<Arc<Relation>> {
-        let mut shard = self
-            .shard(key)
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
-        match shard.touch(key) {
+        let idx = self.shard_index(key);
+        let hit = {
+            let mut shard = self.shards[idx]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            shard.touch(key)
+        };
+        match hit {
             Some(v) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.record_op("hit", idx, 1);
                 Some(v)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                self.record_op("miss", idx, 1);
                 None
             }
         }
@@ -199,15 +225,17 @@ impl SaturationCache {
     /// Admits a completed answer, evicting least-recently-used entries of
     /// the same shard if over capacity.
     pub fn insert(&self, key: CacheKey, value: Arc<Relation>) {
+        let idx = self.shard_index(&key);
         let evicted = {
-            let mut shard = self
-                .shard(&key)
+            let mut shard = self.shards[idx]
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner);
             shard.insert(key, value, self.capacity_per_shard)
         };
         self.insertions.fetch_add(1, Ordering::Relaxed);
         self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        self.record_op("insert", idx, 1);
+        self.record_op("evict", idx, evicted);
     }
 
     /// Drops every entry whose snapshot version is not `version`. Called by
@@ -215,11 +243,13 @@ impl SaturationCache {
     /// never be looked up again.
     pub fn retain_version(&self, version: u64) {
         let mut dropped = 0;
-        for shard in self.shards.iter() {
-            dropped += shard
+        for (idx, shard) in self.shards.iter().enumerate() {
+            let d = shard
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner)
                 .retain_version(version);
+            dropped += d;
+            self.record_op("invalidate", idx, d);
         }
         self.invalidations.fetch_add(dropped, Ordering::Relaxed);
     }

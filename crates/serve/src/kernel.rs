@@ -24,6 +24,7 @@ use recurs_datalog::relation::{Relation, Tuple};
 use recurs_datalog::rule::{LinearRecursion, Program};
 use recurs_datalog::term::{Atom, Term};
 use recurs_engine::{EngineConfig, EngineMode};
+use recurs_obs::Obs;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, PoisonError};
 
@@ -46,6 +47,17 @@ pub enum PointKernelKind {
 }
 
 impl PointKernelKind {
+    /// Low-cardinality dispatch-family label for metrics: `"bounded"`,
+    /// `"magic"`, or `"saturate"` (the rank is dropped so label sets stay
+    /// bounded regardless of the served program).
+    pub fn family(&self) -> &'static str {
+        match self {
+            PointKernelKind::BoundedUnroll { .. } => "bounded",
+            PointKernelKind::MagicIterate => "magic",
+            PointKernelKind::FullSaturation => "saturate",
+        }
+    }
+
     /// Short label for reports, e.g. `"bounded(2)"`, `"magic"`, `"saturate"`.
     pub fn label(&self) -> String {
         match self {
@@ -136,6 +148,7 @@ impl PointPlans {
         query: &Atom,
         budget: &EvalBudget,
         mode: EngineMode,
+        obs: &Obs,
     ) -> Result<PointAnswer, ServeError> {
         if query.predicate != self.lr.predicate {
             return Err(ServeError::WrongPredicate {
@@ -155,8 +168,8 @@ impl PointPlans {
         }
         match self.select(query) {
             PointKernelKind::BoundedUnroll { rank } => self.answer_bounded(db, query, budget, rank),
-            PointKernelKind::MagicIterate => self.answer_magic(db, query, budget, mode),
-            PointKernelKind::FullSaturation => self.answer_saturate(db, query, budget, mode),
+            PointKernelKind::MagicIterate => self.answer_magic(db, query, budget, mode, obs),
+            PointKernelKind::FullSaturation => self.answer_saturate(db, query, budget, mode, obs),
         }
     }
 
@@ -204,6 +217,7 @@ impl PointPlans {
         query: &Atom,
         budget: &EvalBudget,
         mode: EngineMode,
+        obs: &Obs,
     ) -> Result<PointAnswer, ServeError> {
         let form = QueryForm::of_atom(query);
         let plan = self.magic_plan(&form);
@@ -227,6 +241,7 @@ impl PointPlans {
         let config = EngineConfig {
             mode,
             budget: budget.clone(),
+            obs: obs.clone(),
         };
         let sat = recurs_engine::run_program(&mut db, &plan.program, &config)?;
         let adorned_query = Atom::new(plan.answer_predicate, query.terms.clone());
@@ -249,11 +264,13 @@ impl PointPlans {
         query: &Atom,
         budget: &EvalBudget,
         mode: EngineMode,
+        obs: &Obs,
     ) -> Result<PointAnswer, ServeError> {
         let mut db = db.clone();
         let config = EngineConfig {
             mode,
             budget: budget.clone(),
+            obs: obs.clone(),
         };
         let kernel = recurs_engine::select_kernel(&self.classification);
         let sat = recurs_engine::run_with_kernel(&mut db, &self.full_program, kernel, &config)?;
@@ -324,7 +341,13 @@ mod tests {
         let q = parse_atom("P(3, y)").unwrap();
         assert_eq!(plans.select(&q), PointKernelKind::MagicIterate);
         let got = plans
-            .answer(&db, &q, &EvalBudget::unlimited(), EngineMode::Indexed)
+            .answer(
+                &db,
+                &q,
+                &EvalBudget::unlimited(),
+                EngineMode::Indexed,
+                &Obs::noop(),
+            )
             .unwrap();
         assert!(got.outcome.is_complete());
         assert_eq!(got.answers, oracle(&f, &db, &q));
@@ -338,7 +361,13 @@ mod tests {
         let q = parse_atom("P(x, y)").unwrap();
         assert_eq!(plans.select(&q), PointKernelKind::FullSaturation);
         let got = plans
-            .answer(&db, &q, &EvalBudget::unlimited(), EngineMode::Indexed)
+            .answer(
+                &db,
+                &q,
+                &EvalBudget::unlimited(),
+                EngineMode::Indexed,
+                &Obs::noop(),
+            )
             .unwrap();
         assert!(got.outcome.is_complete());
         assert_eq!(got.answers, oracle(&f, &db, &q));
@@ -364,7 +393,13 @@ mod tests {
         let kernel = plans.select(&q);
         assert_eq!(kernel, PointKernelKind::BoundedUnroll { rank: 2 });
         let got = plans
-            .answer(&db, &q, &EvalBudget::unlimited(), EngineMode::Indexed)
+            .answer(
+                &db,
+                &q,
+                &EvalBudget::unlimited(),
+                EngineMode::Indexed,
+                &Obs::noop(),
+            )
             .unwrap();
         assert!(got.outcome.is_complete());
         assert_eq!(got.fixpoint_iterations, 0);
@@ -377,7 +412,13 @@ mod tests {
         let db = tc_db(4);
         let q = parse_atom("Q(1, y)").unwrap();
         let err = plans
-            .answer(&db, &q, &EvalBudget::unlimited(), EngineMode::Indexed)
+            .answer(
+                &db,
+                &q,
+                &EvalBudget::unlimited(),
+                EngineMode::Indexed,
+                &Obs::noop(),
+            )
             .unwrap_err();
         assert!(matches!(err, ServeError::WrongPredicate { .. }));
     }
@@ -388,7 +429,13 @@ mod tests {
         let db = tc_db(4);
         let q = parse_atom("P(1, y, z)").unwrap();
         let err = plans
-            .answer(&db, &q, &EvalBudget::unlimited(), EngineMode::Indexed)
+            .answer(
+                &db,
+                &q,
+                &EvalBudget::unlimited(),
+                EngineMode::Indexed,
+                &Obs::noop(),
+            )
             .unwrap_err();
         assert!(matches!(
             err,
@@ -405,7 +452,9 @@ mod tests {
         token.cancel();
         let budget = EvalBudget::unlimited().with_cancel(token);
         let q = parse_atom("P(1, y)").unwrap();
-        let got = plans.answer(&db, &q, &budget, EngineMode::Indexed).unwrap();
+        let got = plans
+            .answer(&db, &q, &budget, EngineMode::Indexed, &Obs::noop())
+            .unwrap();
         assert!(!got.outcome.is_complete());
         // Sound under-approximation: a subset of the true answers.
         let want = oracle(&f, &db, &q);

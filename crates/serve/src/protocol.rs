@@ -6,12 +6,16 @@
 //! * `?- P(c, X).` (the `?-` and trailing `.` are optional) — answer a query;
 //! * `+ A(1, 2).` — insert a ground fact, installing a new snapshot version;
 //! * `!stats` — dump the service-wide statistics;
+//! * `!metrics` — dump the service metrics in Prometheus text exposition
+//!   format (the one multi-line reply; its `# EOF` terminator line is the
+//!   framing marker);
 //! * `!snapshot` — report the current snapshot version and fingerprints;
 //! * `!quit` — end the session;
 //! * blank lines and `%`/`#` comments are ignored (no reply).
 //!
-//! Every reply is a single-line JSON object with an `"ok"` field; errors
-//! are `{"ok":false,"error":"..."}` and never kill the session.
+//! Every reply except `!metrics` is a single-line JSON object with an
+//! `"ok"` field; errors are `{"ok":false,"error":"..."}` and never kill the
+//! session.
 
 use crate::error::ServeError;
 use crate::service::{QueryService, Reply};
@@ -39,6 +43,12 @@ pub fn handle_line(service: &QueryService, line: &str) -> LineOutcome {
     }
     if line == "!quit" {
         return LineOutcome::Quit;
+    }
+    if line == "!metrics" {
+        // Prometheus text is inherently multi-line; its `# EOF` terminator
+        // (not line count) frames the reply. Trailing newline is trimmed
+        // because the run loop appends one.
+        return LineOutcome::Reply(service.metrics_text().trim_end().to_string());
     }
     LineOutcome::Reply(match handle_request(service, line) {
         Ok(v) => serde::json::to_string(&v),
@@ -213,6 +223,20 @@ mod tests {
         assert!(matches!(handle_line(&s, "% note"), LineOutcome::Silent));
         assert!(matches!(handle_line(&s, "# note"), LineOutcome::Silent));
         assert!(matches!(handle_line(&s, "!quit"), LineOutcome::Quit));
+    }
+
+    #[test]
+    fn metrics_reply_is_prometheus_text_ending_in_eof() {
+        let s = service();
+        reply(&s, "?- P(1, y).");
+        let r = reply(&s, "!metrics");
+        assert!(r.starts_with("# TYPE"), "got {r}");
+        assert!(r.ends_with("# EOF"), "got {r}");
+        assert!(
+            r.contains("recurs_serve_queries_total{cache=\"miss\",kernel=\"magic\",outcome=\"complete\"} 1"),
+            "got {r}"
+        );
+        assert!(r.contains("recurs_serve_query_seconds_bucket"), "got {r}");
     }
 
     #[test]

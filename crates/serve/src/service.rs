@@ -5,7 +5,7 @@ use crate::cache::{canonical_query_key, CacheKey, SaturationCache};
 use crate::error::ServeError;
 use crate::kernel::{PointKernelKind, PointPlans};
 use crate::snapshot::{Snapshot, SnapshotStore};
-use crate::stats::{Aggregates, CacheOutcome, ServeStats, ServiceStats};
+use crate::stats::{CacheOutcome, ServeStats, ServiceStats};
 use recurs_core::Classification;
 use recurs_datalog::database::Database;
 use recurs_datalog::error::DatalogError;
@@ -14,7 +14,8 @@ use recurs_datalog::govern::{EvalBudget, Outcome};
 use recurs_datalog::relation::Relation;
 use recurs_datalog::term::Atom;
 use recurs_engine::EngineMode;
-use std::sync::atomic::Ordering;
+use recurs_obs::aggregate::Aggregator;
+use recurs_obs::{field, Obs};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -31,6 +32,11 @@ pub struct ServeConfig {
     pub budget: EvalBudget,
     /// Engine mode for saturating kernels (magic / full saturation).
     pub mode: EngineMode,
+    /// External observability sink. The service always maintains its own
+    /// metric [`Aggregator`] (backing [`QueryService::stats`] and
+    /// [`QueryService::metrics_text`]); a recorder supplied here receives
+    /// the same counter/histogram/event stream in addition.
+    pub obs: Obs,
 }
 
 impl Default for ServeConfig {
@@ -41,6 +47,7 @@ impl Default for ServeConfig {
             cache_shards: 8,
             budget: EvalBudget::unlimited(),
             mode: EngineMode::Indexed,
+            obs: Obs::noop(),
         }
     }
 }
@@ -71,7 +78,8 @@ pub struct QueryService {
     store: SnapshotStore,
     cache: Option<SaturationCache>,
     admission: Semaphore,
-    agg: Aggregates,
+    metrics: Arc<Aggregator>,
+    obs: Obs,
     budget: EvalBudget,
     mode: EngineMode,
 }
@@ -86,14 +94,25 @@ impl QueryService {
     ) -> QueryService {
         let plans = PointPlans::new(lr);
         let program_fingerprint = fingerprint::of_program(&plans.recursion().to_program());
+        // The service's own aggregator is always attached (it backs
+        // `stats()` and `!metrics`); an external recorder from the config
+        // sees the same stream through the fan-out.
+        let metrics = Arc::new(Aggregator::default());
+        let mut sinks: Vec<Arc<dyn recurs_obs::Recorder>> = vec![metrics.clone()];
+        if let Some(external) = config.obs.recorder() {
+            sinks.push(external);
+        }
+        let obs = Obs::fanout(sinks);
         QueryService {
             plans,
             program_fingerprint,
             store: SnapshotStore::new(db),
-            cache: (config.cache_capacity > 0)
-                .then(|| SaturationCache::new(config.cache_capacity, config.cache_shards)),
+            cache: (config.cache_capacity > 0).then(|| {
+                SaturationCache::with_obs(config.cache_capacity, config.cache_shards, obs.clone())
+            }),
             admission: Semaphore::new(config.max_concurrent),
-            agg: Aggregates::default(),
+            metrics,
+            obs,
             budget: config.budget,
             mode: config.mode,
         }
@@ -125,7 +144,12 @@ impl QueryService {
         if let Some(cache) = &self.cache {
             cache.retain_version(snap.version());
         }
-        self.agg.snapshot_updates.fetch_add(1, Ordering::Relaxed);
+        self.obs
+            .counter("recurs_serve_snapshot_updates_total", &[], 1);
+        if self.obs.enabled() {
+            self.obs
+                .event("serve.snapshot", &[("version", field::u(snap.version()))]);
+        }
         Ok(snap)
     }
 
@@ -143,6 +167,11 @@ impl QueryService {
         budget: &EvalBudget,
     ) -> Result<Reply, ServeError> {
         let (_permit, queue_wait) = self.admission.acquire();
+        self.obs.observe(
+            "recurs_serve_admission_wait_seconds",
+            &[],
+            queue_wait.as_secs_f64(),
+        );
         let snapshot = self.store.load();
         let kernel = self.plans.select(query);
         let start = Instant::now();
@@ -165,7 +194,7 @@ impl QueryService {
                     fixpoint_iterations: 0,
                     snapshot_version: snapshot.version(),
                 };
-                self.agg.record(&stats);
+                self.record_query(&stats);
                 return Ok(Reply {
                     answers,
                     outcome: Outcome::Complete,
@@ -176,9 +205,9 @@ impl QueryService {
 
         let point = self
             .plans
-            .answer(snapshot.database(), query, budget, self.mode)
+            .answer(snapshot.database(), query, budget, self.mode, &self.obs)
             .inspect_err(|_| {
-                self.agg.errors.fetch_add(1, Ordering::Relaxed);
+                self.obs.counter("recurs_serve_query_errors_total", &[], 1);
             })?;
         let answers = Arc::new(point.answers);
         // Only complete answers are cacheable: a truncated answer depends on
@@ -201,7 +230,7 @@ impl QueryService {
             fixpoint_iterations: point.fixpoint_iterations,
             snapshot_version: snapshot.version(),
         };
-        self.agg.record(&stats);
+        self.record_query(&stats);
         Ok(Reply {
             answers,
             outcome: point.outcome,
@@ -209,33 +238,101 @@ impl QueryService {
         })
     }
 
+    /// Feeds one answered query into the recorder: the per-kernel latency
+    /// histogram, the labelled query counter, the summed-cost counters the
+    /// derived [`ServiceStats`] view reads back, and a `serve.query` event.
+    fn record_query(&self, stats: &ServeStats) {
+        if !self.obs.enabled() {
+            return;
+        }
+        let kernel = stats.kernel.family();
+        let cache = stats.cache.label();
+        let outcome = if stats.outcome.is_complete() {
+            "complete"
+        } else {
+            "truncated"
+        };
+        self.obs.counter(
+            "recurs_serve_queries_total",
+            &[("kernel", kernel), ("cache", cache), ("outcome", outcome)],
+            1,
+        );
+        self.obs.observe(
+            "recurs_serve_query_seconds",
+            &[("kernel", kernel)],
+            stats.eval.as_secs_f64(),
+        );
+        self.obs.counter(
+            "recurs_serve_queue_wait_us_total",
+            &[],
+            stats.queue_wait.as_micros() as u64,
+        );
+        self.obs.counter(
+            "recurs_serve_eval_us_total",
+            &[],
+            stats.eval.as_micros() as u64,
+        );
+        self.obs.counter(
+            "recurs_serve_tuples_derived_total",
+            &[],
+            stats.tuples_derived as u64,
+        );
+        let mut fields = vec![
+            ("kernel", field::s(stats.kernel.label())),
+            ("cache", field::s(cache)),
+            ("outcome", field::s(outcome)),
+            ("queue_wait_us", field::us(stats.queue_wait)),
+            ("eval_us", field::us(stats.eval)),
+            ("answers", field::uz(stats.answers)),
+            ("tuples_derived", field::uz(stats.tuples_derived)),
+            ("fixpoint_iterations", field::uz(stats.fixpoint_iterations)),
+            ("snapshot_version", field::u(stats.snapshot_version)),
+        ];
+        if let Some(reason) = stats.outcome.truncation() {
+            fields.push(("truncation", field::s(reason.to_string())));
+        }
+        self.obs.event("serve.query", &fields);
+    }
+
     /// Which kernel the dispatcher would select for a query.
     pub fn kernel_for(&self, query: &Atom) -> PointKernelKind {
         self.plans.select(query)
     }
 
-    /// A point-in-time snapshot of the service-wide statistics.
+    /// A point-in-time snapshot of the service-wide statistics, derived by
+    /// reading the service's metric aggregator back — the same recorder the
+    /// trace events and `!metrics` exposition are fed from, so the two
+    /// views can never disagree.
     pub fn stats(&self) -> ServiceStats {
         let snapshot = self.store.load();
+        let m = &self.metrics;
+        let q = "recurs_serve_queries_total";
         ServiceStats {
-            queries: self.agg.queries.load(Ordering::Relaxed),
-            complete: self.agg.complete.load(Ordering::Relaxed),
-            truncated: self.agg.truncated.load(Ordering::Relaxed),
-            errors: self.agg.errors.load(Ordering::Relaxed),
-            kernel_bounded: self.agg.kernel_bounded.load(Ordering::Relaxed),
-            kernel_magic: self.agg.kernel_magic.load(Ordering::Relaxed),
-            kernel_saturate: self.agg.kernel_saturate.load(Ordering::Relaxed),
-            queue_wait_us: self.agg.queue_wait_us.load(Ordering::Relaxed),
-            eval_us: self.agg.eval_us.load(Ordering::Relaxed),
-            tuples_derived: self.agg.tuples_derived.load(Ordering::Relaxed),
+            queries: m.counter_where(q, &[]),
+            complete: m.counter_where(q, &[("outcome", "complete")]),
+            truncated: m.counter_where(q, &[("outcome", "truncated")]),
+            errors: m.counter_value("recurs_serve_query_errors_total", &[]),
+            kernel_bounded: m.counter_where(q, &[("kernel", "bounded")]),
+            kernel_magic: m.counter_where(q, &[("kernel", "magic")]),
+            kernel_saturate: m.counter_where(q, &[("kernel", "saturate")]),
+            queue_wait_us: m.counter_value("recurs_serve_queue_wait_us_total", &[]),
+            eval_us: m.counter_value("recurs_serve_eval_us_total", &[]),
+            tuples_derived: m.counter_value("recurs_serve_tuples_derived_total", &[]),
             cache: self
                 .cache
                 .as_ref()
                 .map(SaturationCache::counters)
                 .unwrap_or_default(),
             snapshot_version: snapshot.version(),
-            snapshot_updates: self.agg.snapshot_updates.load(Ordering::Relaxed),
+            snapshot_updates: m.counter_value("recurs_serve_snapshot_updates_total", &[]),
         }
+    }
+
+    /// The service's metrics in Prometheus text exposition format,
+    /// terminated by a `# EOF` line (which the `!metrics` protocol command
+    /// uses as its framing marker).
+    pub fn metrics_text(&self) -> String {
+        self.metrics.prometheus_text()
     }
 
     /// The service-wide statistics as a JSON object (single line).
@@ -337,6 +434,64 @@ mod tests {
         assert_eq!(full.stats.cache, CacheOutcome::Miss);
         assert!(full.outcome.is_complete());
         assert!(full.answers.len() > reply.answers.len());
+    }
+
+    #[test]
+    fn external_recorder_sees_query_and_snapshot_events() {
+        let capture = std::sync::Arc::new(recurs_obs::CaptureRecorder::new());
+        let service = tc_service(
+            8,
+            ServeConfig {
+                obs: recurs_obs::Obs::new(capture.clone()),
+                ..ServeConfig::default()
+            },
+        );
+        let q = parse_atom("P(1, y)").unwrap();
+        service.query(&q).unwrap();
+        service.query(&q).unwrap();
+        service
+            .update(|db| {
+                db.insert("A", tuple_u64([8, 9]))?;
+                Ok(())
+            })
+            .unwrap();
+        let queries = capture.events_of("serve.query");
+        assert_eq!(queries.len(), 2);
+        assert_eq!(queries[0].text("cache"), Some("miss"));
+        assert_eq!(queries[1].text("cache"), Some("hit"));
+        assert_eq!(queries[0].text("outcome"), Some("complete"));
+        assert_eq!(queries[0].uint("snapshot_version"), Some(0));
+        let snaps = capture.events_of("serve.snapshot");
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].uint("version"), Some(1));
+        // The external recorder sees the same counters the derived
+        // ServiceStats view reads from the service's own aggregator.
+        assert_eq!(capture.counter_where("recurs_serve_queries_total", &[]), 2);
+        assert_eq!(
+            capture.counter_where("recurs_serve_cache_ops_total", &[("op", "hit")]),
+            1
+        );
+    }
+
+    #[test]
+    fn derived_stats_match_the_recorder_stream() {
+        let service = tc_service(10, ServeConfig::default());
+        let q1 = parse_atom("P(1, y)").unwrap();
+        let q2 = parse_atom("P(2, y)").unwrap();
+        service.query(&q1).unwrap();
+        service.query(&q1).unwrap(); // hit
+        service.query(&q2).unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.queries, 3);
+        assert_eq!(stats.complete, 3);
+        assert_eq!(stats.truncated, 0);
+        assert_eq!(stats.kernel_magic, 3);
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.cache.misses, 2);
+        // The Prometheus exposition is fed by the same aggregator.
+        let text = service.metrics_text();
+        assert!(text.contains("recurs_serve_queries_total"));
+        assert!(text.ends_with("# EOF\n"));
     }
 
     #[test]

@@ -3,7 +3,6 @@
 use crate::cache::CacheCounters;
 use crate::kernel::PointKernelKind;
 use recurs_datalog::govern::Outcome;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// How the cache participated in one query.
@@ -76,46 +75,11 @@ impl serde::Serialize for ServeStats {
     }
 }
 
-/// Lock-free accumulators the service updates per query.
-#[derive(Debug, Default)]
-pub(crate) struct Aggregates {
-    pub queries: AtomicU64,
-    pub complete: AtomicU64,
-    pub truncated: AtomicU64,
-    pub errors: AtomicU64,
-    pub kernel_bounded: AtomicU64,
-    pub kernel_magic: AtomicU64,
-    pub kernel_saturate: AtomicU64,
-    pub queue_wait_us: AtomicU64,
-    pub eval_us: AtomicU64,
-    pub tuples_derived: AtomicU64,
-    pub snapshot_updates: AtomicU64,
-}
-
-impl Aggregates {
-    pub(crate) fn record(&self, stats: &ServeStats) {
-        self.queries.fetch_add(1, Ordering::Relaxed);
-        if stats.outcome.is_complete() {
-            self.complete.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.truncated.fetch_add(1, Ordering::Relaxed);
-        }
-        let kernel_counter = match stats.kernel {
-            PointKernelKind::BoundedUnroll { .. } => &self.kernel_bounded,
-            PointKernelKind::MagicIterate => &self.kernel_magic,
-            PointKernelKind::FullSaturation => &self.kernel_saturate,
-        };
-        kernel_counter.fetch_add(1, Ordering::Relaxed);
-        self.queue_wait_us
-            .fetch_add(stats.queue_wait.as_micros() as u64, Ordering::Relaxed);
-        self.eval_us
-            .fetch_add(stats.eval.as_micros() as u64, Ordering::Relaxed);
-        self.tuples_derived
-            .fetch_add(stats.tuples_derived as u64, Ordering::Relaxed);
-    }
-}
-
 /// A point-in-time snapshot of the service's aggregate statistics.
+///
+/// Derived by reading the service's metric aggregator (the same recorder
+/// that feeds trace events and the `!metrics` Prometheus exposition) — see
+/// [`QueryService::stats`](crate::service::QueryService::stats).
 #[derive(Debug, Clone)]
 pub struct ServiceStats {
     /// Queries answered (successfully; errors are counted separately).
@@ -174,7 +138,6 @@ impl serde::Serialize for ServiceStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use recurs_datalog::govern::TruncationReason;
 
     fn stats(kernel: PointKernelKind, outcome: Outcome) -> ServeStats {
         ServeStats {
@@ -188,27 +151,6 @@ mod tests {
             fixpoint_iterations: 2,
             snapshot_version: 1,
         }
-    }
-
-    #[test]
-    fn aggregates_count_outcomes_and_kernels() {
-        let agg = Aggregates::default();
-        agg.record(&stats(PointKernelKind::MagicIterate, Outcome::Complete));
-        agg.record(&stats(
-            PointKernelKind::FullSaturation,
-            Outcome::Truncated(TruncationReason::Deadline),
-        ));
-        agg.record(&stats(
-            PointKernelKind::BoundedUnroll { rank: 2 },
-            Outcome::Complete,
-        ));
-        assert_eq!(agg.queries.load(Ordering::Relaxed), 3);
-        assert_eq!(agg.complete.load(Ordering::Relaxed), 2);
-        assert_eq!(agg.truncated.load(Ordering::Relaxed), 1);
-        assert_eq!(agg.kernel_magic.load(Ordering::Relaxed), 1);
-        assert_eq!(agg.kernel_saturate.load(Ordering::Relaxed), 1);
-        assert_eq!(agg.kernel_bounded.load(Ordering::Relaxed), 1);
-        assert_eq!(agg.tuples_derived.load(Ordering::Relaxed), 21);
     }
 
     #[test]

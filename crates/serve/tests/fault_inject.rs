@@ -13,7 +13,9 @@ use recurs_datalog::relation::Relation;
 use recurs_datalog::rule::LinearRecursion;
 use recurs_engine::fault::{arm, FaultPlan, PanicMode};
 use recurs_engine::EngineMode;
+use recurs_obs::{CaptureRecorder, Obs};
 use recurs_serve::{CacheOutcome, QueryService, ServeConfig};
+use std::sync::Arc;
 
 fn tc() -> LinearRecursion {
     recurs_datalog::validate::validate_with_generic_exit(
@@ -30,11 +32,16 @@ fn tc_db(n: u64) -> Database {
 }
 
 fn parallel_service(n: u64) -> QueryService {
+    parallel_service_obs(n, Obs::noop())
+}
+
+fn parallel_service_obs(n: u64, obs: Obs) -> QueryService {
     QueryService::new(
         tc(),
         tc_db(n),
         ServeConfig {
             mode: EngineMode::Parallel { threads: 3 },
+            obs,
             ..ServeConfig::default()
         },
     )
@@ -46,7 +53,8 @@ fn worker_panic_during_saturation_still_serves_complete_answers() {
         panic_mode: Some(PanicMode::OnceInWorker(0)),
         ..FaultPlan::default()
     });
-    let service = parallel_service(12);
+    let capture = Arc::new(CaptureRecorder::new());
+    let service = parallel_service_obs(12, Obs::new(capture.clone()));
     // All-free query → FullSaturation path → parallel engine kernel, where
     // the armed panic fires. The engine degrades and retries; the reply must
     // still be complete and correct.
@@ -67,6 +75,20 @@ fn worker_panic_during_saturation_still_serves_complete_answers() {
     let again = service.query(&q).expect("repeat query succeeds");
     assert_eq!(again.stats.cache, CacheOutcome::Hit);
     assert_eq!(again.answers, reply.answers);
+
+    // The injected fault travelled through the serving layer's recorder:
+    // the trace shows the fault firing inside the engine kernel *and* the
+    // served query that contained it, so an operator can correlate the two.
+    let injected = capture.events_of("fault.injected");
+    assert_eq!(injected.len(), 1, "one armed fault → one fault.injected");
+    assert_eq!(injected[0].text("kind"), Some("panic"));
+    assert_eq!(injected[0].text("site"), Some("worker"));
+    assert_eq!(capture.events_of("engine.worker_panic").len(), 1);
+    assert_eq!(
+        capture.events_of("serve.query").len(),
+        2,
+        "both the degraded miss and the cache hit are traced"
+    );
 }
 
 #[test]

@@ -93,6 +93,8 @@ fn cli_run_reports_typed_errors_for_bad_programs() {
                 max_tuples: None,
                 max_iterations: None,
                 stats_json: false,
+                trace: None,
+                metrics: false,
             },
             src,
         )
