@@ -16,13 +16,18 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 # linted separately because it swaps in the non-test fault hooks.
 echo "==> cargo clippy --features fault-inject (-D warnings)"
 cargo clippy -p recurs-engine --all-targets --features fault-inject --offline -- -D warnings
+cargo clippy -p recurs-ivm --all-targets --features fault-inject --offline -- -D warnings
 cargo clippy -p recurs-serve --all-targets --features fault-inject --offline -- -D warnings
 
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
+# The fault-injection lanes include the ivm differential gate under forced
+# maintenance truncation (tripped patches must still equal the from-scratch
+# oracle via the cold fallback).
 echo "==> cargo test fault-injection suite"
 cargo test -p recurs-engine --features fault-inject --offline -q
+cargo test -p recurs-ivm --features fault-inject --offline -q
 cargo test -p recurs-serve --features fault-inject --offline -q
 
 # The observability spine is linted and tested in both feature shapes: the
@@ -41,7 +46,10 @@ cargo test -p recurs-cli --offline -q --test cli_process \
   serve_stdin_answers_metrics_with_parseable_prometheus_text
 
 # Benchmark regression tripwire: re-times the smallest engine_scaling sizes
-# and diffs against BENCH_engine.json (drift-corrected; fails above 25%).
+# and diffs against BENCH_engine.json (drift-corrected; fails above 25%),
+# and re-times single-fact maintenance on tc/800 against BENCH_ivm.json
+# (same 25% tripwire on the patched rows, plus a hard >= 5x
+# patched-vs-cold speedup floor).
 echo "==> bench_compare --quick"
 cargo run --release --offline -p recurs-bench --bin bench_compare -- --quick --samples 5
 

@@ -25,17 +25,27 @@
 //!     --samples 10 --write BENCH_obs.json
 //! ```
 //!
+//! The incremental-maintenance lane re-times single-fact insert/delete
+//! patches against a cold refixpoint on tc/800 and diffs against
+//! `BENCH_ivm.json` (`--ivm-baseline`): the patched rows are gated with the
+//! same drift-corrected tripwire (the same-run cold refixpoint is the
+//! control), and the run additionally fails if the measured patched-vs-cold
+//! median speedup drops below `--ivm-speedup` (default 5).
+//!
 //! `--quick` trims to the smallest size per workload with fewer samples,
 //! which is what the CI lane runs as a smoke-level regression tripwire.
 
 use recurs_datalog::eval::semi_naive;
 use recurs_datalog::govern::EvalBudget;
 use recurs_datalog::parser::parse_program;
+use recurs_datalog::relation::tuple_u64;
 use recurs_datalog::relation::Relation;
 use recurs_datalog::rule::LinearRecursion;
+use recurs_datalog::symbol::Symbol;
 use recurs_datalog::validate::validate_with_generic_exit;
 use recurs_datalog::Database;
 use recurs_engine::{run_linear, EngineConfig, EngineMode};
+use recurs_ivm::{EdbDelta, FactOp, Materialization};
 use recurs_obs::aggregate::Aggregator;
 use recurs_obs::Obs;
 use recurs_workload::graphs::chain;
@@ -197,6 +207,8 @@ struct Options {
     samples: usize,
     gate_pct: f64,
     baseline: String,
+    ivm_baseline: String,
+    ivm_speedup: f64,
     write: Option<String>,
     quick: bool,
 }
@@ -206,6 +218,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         samples: 10,
         gate_pct: 25.0,
         baseline: "BENCH_engine.json".to_string(),
+        ivm_baseline: "BENCH_ivm.json".to_string(),
+        ivm_speedup: 5.0,
         write: None,
         quick: false,
     };
@@ -222,6 +236,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--gate" => opts.gate_pct = value("--gate")?.parse().map_err(|e| format!("{e}"))?,
             "--baseline" => opts.baseline = value("--baseline")?,
+            "--ivm-baseline" => opts.ivm_baseline = value("--ivm-baseline")?,
+            "--ivm-speedup" => {
+                opts.ivm_speedup = value("--ivm-speedup")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
             "--write" => opts.write = Some(value("--write")?),
             "--quick" => opts.quick = true,
             other => return Err(format!("unknown flag {other:?}")),
@@ -391,12 +411,110 @@ fn report_json(
     serde::json::to_string_pretty(&value)
 }
 
+/// Times single-fact maintenance on tc/800: insert the tip edge
+/// `E(800, 801)` and patch the standing materialization, delete it again
+/// and patch, and refixpoint the inserted database from scratch —
+/// interleaved sample-by-sample so the cold refixpoint doubles as the
+/// same-run machine-drift control for the patched rows. Both patch
+/// directions are certified tuple-identical to from-scratch saturation
+/// before timing. Returns the rows plus the measured patched-vs-cold
+/// median speedup (cold over the slower patch direction).
+fn measure_ivm(opts: &Options, baseline: &str) -> Result<(Vec<Row>, f64), String> {
+    const WORKLOAD: &str = "update_latency_tc";
+    const SIZE: u64 = 800;
+    let f = tc_formula();
+    let budget = EvalBudget::unlimited();
+    let db = tc_db(SIZE);
+    let e = Symbol::intern("E");
+    let tip = tuple_u64([SIZE, SIZE + 1]);
+    let insert =
+        EdbDelta::normalize(&[FactOp::Insert(e, tip.clone())], &db).map_err(|e| format!("{e}"))?;
+    let mut inserted_db = db.clone();
+    insert
+        .apply_to(&mut inserted_db)
+        .map_err(|e| format!("{e}"))?;
+    let delete =
+        EdbDelta::normalize(&[FactOp::Delete(e, tip)], &inserted_db).map_err(|e| format!("{e}"))?;
+
+    let refixpoint = |edb: &Database| {
+        let mut db = edb.clone();
+        db.insert_relation(f.predicate, Relation::new(f.dimension()));
+        semi_naive(&mut db, &f.to_program(), None).unwrap();
+        db.get(f.predicate).unwrap().clone()
+    };
+    let mut mat =
+        Materialization::saturate(&f, &db, &budget, &Obs::noop()).map_err(|e| format!("{e}"))?;
+    // Certify both directions once before timing anything.
+    mat.apply(&insert, &budget).map_err(|e| format!("{e}"))?;
+    assert_eq!(mat.relation(), &refixpoint(&inserted_db));
+    mat.apply(&delete, &budget).map_err(|e| format!("{e}"))?;
+    assert_eq!(mat.relation(), &refixpoint(&db));
+
+    let (mut ins_times, mut del_times, mut cold_times) = (Vec::new(), Vec::new(), Vec::new());
+    for _ in 0..opts.samples {
+        ins_times.push(time_once(|| {
+            black_box(mat.apply(&insert, &budget).unwrap());
+        }));
+        del_times.push(time_once(|| {
+            black_box(mat.apply(&delete, &budget).unwrap());
+        }));
+        cold_times.push(time_once(|| {
+            black_box(refixpoint(&inserted_db));
+        }));
+    }
+    let (ins_ms, del_ms, cold_ms) = (
+        median(&mut ins_times),
+        median(&mut del_times),
+        median(&mut cold_times),
+    );
+    let cold_baseline = baseline_ms(baseline, WORKLOAD, SIZE, "cold")?;
+    let rows = vec![
+        Row {
+            workload: WORKLOAD,
+            size: SIZE,
+            config: "cold",
+            baseline_ms: cold_baseline,
+            measured_ms: cold_ms,
+            enabled_ms: None,
+            control: None,
+        },
+        Row {
+            workload: WORKLOAD,
+            size: SIZE,
+            config: "patched_insert",
+            baseline_ms: baseline_ms(baseline, WORKLOAD, SIZE, "patched_insert")?,
+            measured_ms: ins_ms,
+            enabled_ms: None,
+            control: Some((cold_baseline, cold_ms)),
+        },
+        Row {
+            workload: WORKLOAD,
+            size: SIZE,
+            config: "patched_delete",
+            baseline_ms: baseline_ms(baseline, WORKLOAD, SIZE, "patched_delete")?,
+            measured_ms: del_ms,
+            enabled_ms: None,
+            control: Some((cold_baseline, cold_ms)),
+        },
+    ];
+    let speedup = cold_ms / ins_ms.max(del_ms);
+    eprintln!(
+        "{WORKLOAD}/{SIZE}: patched insert {ins_ms:.3} ms | patched delete {del_ms:.3} ms \
+         | cold {cold_ms:.2} ms | speedup {speedup:.0}x"
+    );
+    Ok((rows, speedup))
+}
+
 fn run() -> Result<bool, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = parse_options(&args)?;
     let baseline = std::fs::read_to_string(&opts.baseline)
         .map_err(|e| format!("cannot read baseline {}: {e}", opts.baseline))?;
-    let rows = measure(&opts, &baseline)?;
+    let ivm_baseline = std::fs::read_to_string(&opts.ivm_baseline)
+        .map_err(|e| format!("cannot read baseline {}: {e}", opts.ivm_baseline))?;
+    let mut rows = measure(&opts, &baseline)?;
+    let (ivm_rows, ivm_speedup) = measure_ivm(&opts, &ivm_baseline)?;
+    rows.extend(ivm_rows);
 
     // The gate judges the code under test (the instrumented indexed
     // engine) on its drift-corrected delta; the oracle rows are the
@@ -413,7 +531,8 @@ fn run() -> Result<bool, String> {
         .collect();
     let noop_max_pct = corrected.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let noop_median_pct = median(&mut corrected);
-    let gate_ok = regressions.is_empty();
+    let speedup_ok = ivm_speedup >= opts.ivm_speedup;
+    let gate_ok = regressions.is_empty() && speedup_ok;
 
     if let Some(path) = &opts.write {
         std::fs::write(
@@ -438,6 +557,13 @@ fn run() -> Result<bool, String> {
             r.baseline_ms,
             r.corrected_pct(),
             opts.gate_pct
+        );
+    }
+    if !speedup_ok {
+        eprintln!(
+            "REGRESSION update_latency_tc/800: patched-vs-cold speedup {ivm_speedup:.1}x \
+             below the {:.0}x acceptance floor",
+            opts.ivm_speedup
         );
     }
     Ok(gate_ok)

@@ -275,10 +275,13 @@ USAGE:
 
     recurs serve <file> --stdin            serve queries over stdin/stdout: one
                                            request per line (?- P(1, y). / +A(1, 2).
-                                           / !stats / !metrics / !snapshot /
+                                           / -A(1, 2). / +A(3, 4) -E(2, 3). /
+                                           !stats / !metrics / !snapshot /
                                            !quit), one JSON reply per line
                                            (!metrics: Prometheus text ending
-                                           with a # EOF line)
+                                           with a # EOF line; a signed group is
+                                           one atomic version; all-no-op groups
+                                           reply unchanged without a bump)
     recurs batch <file> [--repeat N]       answer the file's ?- queries through
                                            the query service (repeat to exercise
                                            the cache) [--stats-json: append the

@@ -100,6 +100,7 @@ fn service_stats_shape_is_pinned() {
         kernel_bounded: 3,
         kernel_magic: 5,
         kernel_saturate: 3,
+        kernel_materialized: 2,
         queue_wait_us: 420,
         eval_us: 6400,
         tuples_derived: 210,
@@ -109,9 +110,11 @@ fn service_stats_shape_is_pinned() {
             insertions: 6,
             evictions: 1,
             invalidations: 2,
+            patched: 5,
         },
         snapshot_version: 3,
         snapshot_updates: 2,
+        updates_unchanged: 1,
     };
     let json = serde::json::to_string_pretty(&stats);
     assert_matches_golden("service_stats.json", &json);

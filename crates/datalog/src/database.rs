@@ -5,7 +5,7 @@ use crate::error::DatalogError;
 use crate::relation::{Relation, Tuple};
 use crate::rule::Program;
 use crate::symbol::Symbol;
-use crate::term::Term;
+use crate::term::{Term, Value};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -59,6 +59,25 @@ impl Database {
             });
         }
         Ok(rel.insert(t))
+    }
+
+    /// Removes one tuple from `name`; returns true if it was present. An
+    /// unknown relation holds no tuples, so removing from it is `Ok(false)`;
+    /// a width mismatch against a known relation is an error, as for
+    /// [`Database::insert`].
+    pub fn remove(&mut self, name: impl Into<Symbol>, t: &[Value]) -> Result<bool, DatalogError> {
+        let name = name.into();
+        let Some(rel) = self.relations.get_mut(&name) else {
+            return Ok(false);
+        };
+        if rel.arity() != t.len() {
+            return Err(DatalogError::TupleArity {
+                relation: name,
+                expected: rel.arity(),
+                found: t.len(),
+            });
+        }
+        Ok(rel.remove(t))
     }
 
     /// Looks up a relation.

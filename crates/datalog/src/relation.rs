@@ -80,6 +80,11 @@ impl Relation {
         self.tuples.contains(t)
     }
 
+    /// Removes a tuple; returns true if it was present.
+    pub fn remove(&mut self, t: &[Value]) -> bool {
+        self.tuples.remove(t)
+    }
+
     /// Iterates over tuples in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
         self.tuples.iter()

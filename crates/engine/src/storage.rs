@@ -10,7 +10,7 @@
 use recurs_datalog::relation::{Relation, Tuple};
 use recurs_datalog::symbol::Symbol;
 use recurs_datalog::term::Value;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap};
 
 /// A hash index: key columns → (key values → ids of matching tuples).
 type Index = HashMap<Box<[Value]>, Vec<u32>>;
@@ -31,17 +31,19 @@ impl IndexCounters {
     }
 }
 
-/// A relation stored as an append-only tuple arena plus persistent hash
-/// indexes on the column sets the compiled rules join on.
+/// A relation stored as a tuple arena plus persistent hash indexes on the
+/// column sets the compiled rules join on.
 ///
 /// Tuple ids are dense `u32`s in insertion order; indexes store ids, not
 /// tuple copies, so a tuple is owned exactly once however many indexes
-/// cover it.
+/// cover it. Removal (used by incremental view maintenance) tombstones the
+/// arena slot and unlinks the id from every index; arena slots are not
+/// reused, so ids stay stable for the lifetime of the relation.
 #[derive(Debug, Clone, Default)]
 pub struct IndexedRelation {
     arity: usize,
-    tuples: Vec<Tuple>,
-    seen: HashSet<Tuple>,
+    tuples: Vec<Option<Tuple>>,
+    ids: HashMap<Tuple, u32>,
     indexes: HashMap<Vec<usize>, Index>,
     counters: IndexCounters,
 }
@@ -69,19 +71,19 @@ impl IndexedRelation {
         self.arity
     }
 
-    /// Number of tuples.
+    /// Number of (live) tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.ids.len()
     }
 
     /// True if no tuple is stored.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.ids.is_empty()
     }
 
     /// Membership test.
     pub fn contains(&self, t: &[Value]) -> bool {
-        self.seen.contains(t)
+        self.ids.contains_key(t)
     }
 
     /// Inserts a tuple, updating every existing index. Returns true if the
@@ -94,12 +96,12 @@ impl IndexedRelation {
             t.len(),
             self.arity
         );
-        if !self.seen.insert(t.clone()) {
+        if self.ids.contains_key(&t) {
             return false;
         }
         let Ok(id) = u32::try_from(self.tuples.len()) else {
-            // Dense u32 ids are a storage invariant; 2^32 tuples exceeds
-            // every budget this engine runs under.
+            // Dense u32 ids are a storage invariant; 2^32 arena slots
+            // exceeds every budget this engine runs under.
             panic!("IndexedRelation overflow: more than u32::MAX tuples");
         };
         for (cols, index) in &mut self.indexes {
@@ -107,7 +109,28 @@ impl IndexedRelation {
             index.entry(key).or_default().push(id);
             self.counters.updates += 1;
         }
-        self.tuples.push(t);
+        self.ids.insert(t.clone(), id);
+        self.tuples.push(Some(t));
+        true
+    }
+
+    /// Removes a tuple, unlinking its id from every existing index and
+    /// tombstoning its arena slot. Returns true if the tuple was present.
+    pub fn remove(&mut self, t: &[Value]) -> bool {
+        let Some(id) = self.ids.remove(t) else {
+            return false;
+        };
+        for (cols, index) in &mut self.indexes {
+            let key: Box<[Value]> = cols.iter().map(|&c| t[c]).collect();
+            if let Some(bucket) = index.get_mut(&key) {
+                bucket.retain(|&i| i != id);
+                if bucket.is_empty() {
+                    index.remove(&key);
+                }
+            }
+            self.counters.updates += 1;
+        }
+        self.tuples[id as usize] = None;
         true
     }
 
@@ -119,6 +142,7 @@ impl IndexedRelation {
         }
         let mut index: Index = HashMap::new();
         for (id, t) in self.tuples.iter().enumerate() {
+            let Some(t) = t else { continue };
             let key: Box<[Value]> = cols.iter().map(|&c| t[c]).collect();
             index.entry(key).or_default().push(id as u32);
         }
@@ -135,19 +159,23 @@ impl IndexedRelation {
         Some(index.get(key).map_or(&[], Vec::as_slice))
     }
 
-    /// The tuple with the given id.
+    /// The tuple with the given id. Ids only reach callers through `probe`,
+    /// which never returns a removed tuple's id.
     pub fn tuple(&self, id: u32) -> &Tuple {
-        &self.tuples[id as usize]
+        match &self.tuples[id as usize] {
+            Some(t) => t,
+            None => unreachable!("probe returned the id of a removed tuple"),
+        }
     }
 
-    /// Iterates over all tuples in insertion order.
+    /// Iterates over all live tuples in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
-        self.tuples.iter()
+        self.tuples.iter().flatten()
     }
 
     /// Copies the storage back into a plain [`Relation`].
     pub fn to_relation(&self) -> Relation {
-        Relation::from_tuples(self.arity, self.tuples.iter().cloned())
+        Relation::from_tuples(self.arity, self.iter().cloned())
     }
 
     /// Index-maintenance counters so far.
@@ -294,6 +322,26 @@ mod tests {
         assert_eq!(r.probe(&[0, 1], &[v(1), v(2)]).unwrap().len(), 2);
         let id = r.probe(&[0, 1], &[v(1), v(5)]).unwrap()[0];
         assert_eq!(&r.tuple(id)[..], &[v(1), v(5), v(3)]);
+    }
+
+    #[test]
+    fn remove_unlinks_indexes_and_tombstones_the_slot() {
+        let mut r = IndexedRelation::from_relation(&Relation::from_pairs([(1, 2), (1, 3), (2, 3)]));
+        r.ensure_index(&[0]);
+        r.ensure_index(&[1]);
+        assert!(r.remove(&[v(1), v(2)]));
+        assert!(!r.remove(&[v(1), v(2)]), "second remove is a no-op");
+        assert_eq!(r.len(), 2);
+        assert!(!r.contains(&[v(1), v(2)]));
+        assert_eq!(r.probe(&[0], &[v(1)]).unwrap().len(), 1);
+        assert_eq!(r.probe(&[1], &[v(2)]).unwrap().len(), 0);
+        // Iteration and round-tripping skip the tombstone.
+        assert_eq!(r.iter().count(), 2);
+        assert_eq!(r.to_relation(), Relation::from_pairs([(1, 3), (2, 3)]));
+        // Reinsertion after removal gets a fresh id and is probe-visible.
+        assert!(r.insert(tuple_u64([1, 2])));
+        assert_eq!(r.probe(&[0], &[v(1)]).unwrap().len(), 2);
+        assert_eq!(r.iter().count(), 3);
     }
 
     #[test]

@@ -1,0 +1,426 @@
+//! A materialized fixpoint with per-tuple derivation counts.
+//!
+//! The *count* of a tuple `t` is the number of ground rule instantiations
+//! (assignments to all body variables over the current database) whose head
+//! is `t`, summed over every rule. A tuple belongs to the fixpoint exactly
+//! when its count is positive, which is what lets deletions be maintained
+//! without re-deriving the world: supports are removed one instantiation at
+//! a time, and only tuples whose count reaches zero disappear.
+//!
+//! Two engine facts make the counts exact and cheap to maintain:
+//!
+//! * [`CompiledRule::execute`] output rows are per-instantiation — the
+//!   pipeline carries every distinct body variable and never dedupes — so
+//!   seeding a delta pipeline at the recursive position enumerates each new
+//!   instantiation exactly once (the rule is linear: one recursive atom).
+//! * [`eval_body`]'s bindings are distinct assignments to all body
+//!   variables, so exit-rule seeding and backward recounts read the same
+//!   count definition.
+
+use crate::delta::IdbPatch;
+use crate::{IvmError, MaintenancePath};
+use recurs_core::Classification;
+use recurs_datalog::database::Database;
+use recurs_datalog::error::DatalogError;
+use recurs_datalog::eval::{eval_body, Bindings};
+use recurs_datalog::govern::{EvalBudget, Governor, Progress, TruncationReason};
+use recurs_datalog::relation::{Relation, Tuple};
+use recurs_datalog::rule::{LinearRecursion, Rule};
+use recurs_datalog::symbol::Symbol;
+use recurs_datalog::term::{Atom, Term, Value};
+use recurs_engine::compile::{CompiledRule, ProbeCounters, Row};
+use recurs_engine::EngineDb;
+use recurs_obs::{field, Obs};
+use std::collections::HashMap;
+
+/// A saturated linear recursion kept consistent under EDB deltas.
+///
+/// Owns a full [`Database`] (EDB relations plus the derived predicate), an
+/// engine mirror with persistent indexes, and the per-tuple derivation
+/// counts. Built by [`Materialization::saturate`]; maintained by
+/// [`Materialization::apply`].
+pub struct Materialization {
+    pub(crate) lr: LinearRecursion,
+    pub(crate) path: MaintenancePath,
+    pub(crate) db: Database,
+    pub(crate) engine: EngineDb,
+    pub(crate) counts: HashMap<Tuple, u64>,
+    /// The recursive rule's delta pipeline, differentiated at the recursive
+    /// body position. Reused by insertion propagation, overdeletion, and
+    /// forward rederivation — all three are "what follows from these
+    /// recursive tuples" questions.
+    pub(crate) rec_delta: CompiledRule,
+    /// Delta pipelines differentiated at non-recursive body positions,
+    /// compiled lazily for overdeletion. Keyed by (rule index, body
+    /// position); rule index 0 is the recursive rule, `i + 1` is
+    /// `exit_rules[i]`.
+    pub(crate) variants: HashMap<(usize, usize), CompiledRule>,
+    /// Backward-recount pipelines, one per rule, compiled lazily for DRed
+    /// rederivation: the rule's body prefixed with a synthetic candidate
+    /// atom mirroring the head, differentiated at that atom. Seeding it
+    /// with the candidate set enumerates, per candidate, every surviving
+    /// instantiation through the engine's persistent indexes — instead of
+    /// one hash-join rebuild per candidate.
+    pub(crate) recounts: HashMap<usize, CompiledRule>,
+    pub(crate) obs: Obs,
+}
+
+/// Reserved relation name for the synthetic candidate seed atom of the
+/// recount pipelines. The relation itself stays empty forever — the
+/// pipeline reads its seed rows from the candidate batch, never from
+/// storage — it exists only so compilation can resolve the atom.
+pub(crate) const CAND: &str = "__ivm_cand";
+
+impl std::fmt::Debug for Materialization {
+    // Compact by hand: the engine mirror and compiled pipelines would drown
+    // any log line, and `LinearRecursion` has no `Debug` of its own.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Materialization")
+            .field("predicate", &self.lr.predicate)
+            .field("path", &self.path)
+            .field("tuples", &self.counts.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Materialization {
+    /// Saturates `lr` over `edb` from scratch, tracking derivation counts.
+    ///
+    /// The database must not already contain tuples for the recursive
+    /// predicate — the materialized relation is derived, never stored. A
+    /// budget truncation here is an error (there is nothing valid to fall
+    /// back to); patch-time truncation is handled inside `apply` instead.
+    pub fn saturate(
+        lr: &LinearRecursion,
+        edb: &Database,
+        budget: &EvalBudget,
+        obs: &Obs,
+    ) -> Result<Materialization, IvmError> {
+        let p = lr.predicate;
+        if edb.get(p).is_some_and(|r| !r.is_empty()) {
+            return Err(IvmError::IdbUpdate(p));
+        }
+        let governor = budget.start();
+        let mut db = edb.clone();
+        for rule in std::iter::once(&lr.recursive_rule).chain(lr.exit_rules.iter()) {
+            for atom in &rule.body {
+                if atom.predicate != p {
+                    db.declare(atom.predicate, atom.arity())?;
+                }
+            }
+        }
+        db.insert_relation(p, Relation::new(lr.dimension()));
+
+        // Exit seeding: one count per exit-rule instantiation.
+        let mut counts: HashMap<Tuple, u64> = HashMap::new();
+        let mut fresh: Vec<Tuple> = Vec::new();
+        for rule in &lr.exit_rules {
+            if let Some(reason) = governor.poll() {
+                return Err(IvmError::Truncated(reason));
+            }
+            let bindings = eval_body(&db, &rule.body, &HashMap::new())?;
+            for h in head_rows(&rule.head, &bindings)? {
+                let c = counts.entry(h.clone()).or_insert(0);
+                *c += 1;
+                if *c == 1 {
+                    fresh.push(h);
+                }
+            }
+        }
+        if let Some(rel) = db.get_mut(p) {
+            for t in &fresh {
+                rel.insert(t.clone());
+            }
+        }
+
+        let mut engine = EngineDb::new();
+        for (name, rel) in db.iter() {
+            engine.load(name, rel);
+        }
+        let p_pos = lr
+            .recursive_rule
+            .body
+            .iter()
+            .position(|a| a.predicate == p)
+            .ok_or(DatalogError::UnknownRelation(p))?;
+        let rec_delta = CompiledRule::compile(&lr.recursive_rule, Some(p_pos), &db)?;
+        for (pred, cols) in rec_delta.required_indexes() {
+            if let Some(rel) = engine.get_mut(pred) {
+                rel.ensure_index(cols);
+            }
+        }
+        let path = MaintenancePath::select(&Classification::of(&lr.recursive_rule));
+
+        let mut mat = Materialization {
+            lr: lr.clone(),
+            path,
+            db,
+            engine,
+            counts,
+            rec_delta,
+            variants: HashMap::new(),
+            recounts: HashMap::new(),
+            obs: obs.clone(),
+        };
+        let prop = mat.propagate(fresh, &governor, None)?;
+        if let Some(reason) = prop.truncation {
+            return Err(IvmError::Truncated(reason));
+        }
+        mat.obs.event(
+            "ivm.saturate",
+            &[
+                ("path", field::s(mat.path.label())),
+                ("tuples", field::uz(mat.counts.len())),
+                ("rounds", field::u(prop.rounds)),
+            ],
+        );
+        Ok(mat)
+    }
+
+    /// The recursive predicate.
+    pub fn predicate(&self) -> Symbol {
+        self.lr.predicate
+    }
+
+    /// The maintenance path the classification selected.
+    pub fn path(&self) -> MaintenancePath {
+        self.path
+    }
+
+    /// The full database: EDB relations plus the saturated predicate.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The materialized relation.
+    pub fn relation(&self) -> &Relation {
+        // The predicate is declared in every constructor path.
+        self.db
+            .get(self.lr.predicate)
+            .unwrap_or_else(|| unreachable!("materialized predicate is always declared"))
+    }
+
+    /// The derivation count of a tuple (0 when underivable).
+    pub fn count(&self, t: &[Value]) -> u64 {
+        self.counts.get(t).copied().unwrap_or(0)
+    }
+
+    /// The EDB part of the current database (everything but the recursive
+    /// predicate and the synthetic recount seed), cloned — the seed for a
+    /// cold rebuild.
+    pub(crate) fn current_edb(&self) -> Database {
+        let cand = Symbol::intern(CAND);
+        let mut edb = Database::new();
+        for (name, rel) in self.db.iter() {
+            if name != self.lr.predicate && name != cand {
+                edb.insert_relation(name, rel.clone());
+            }
+        }
+        edb
+    }
+
+    /// The rule with the given index: 0 is the recursive rule, `i + 1` is
+    /// `exit_rules[i]`.
+    pub(crate) fn rule_at(&self, ri: usize) -> &Rule {
+        if ri == 0 {
+            &self.lr.recursive_rule
+        } else {
+            &self.lr.exit_rules[ri - 1]
+        }
+    }
+
+    /// Number of rules (recursive + exits).
+    pub(crate) fn rule_count(&self) -> usize {
+        1 + self.lr.exit_rules.len()
+    }
+
+    /// Inserts a derived tuple into both the database and the engine mirror.
+    pub(crate) fn insert_p(&mut self, t: Tuple) {
+        if let Some(rel) = self.db.get_mut(self.lr.predicate) {
+            rel.insert(t.clone());
+        }
+        if let Some(rel) = self.engine.get_mut(self.lr.predicate) {
+            rel.insert(t);
+        }
+    }
+
+    /// Removes a derived tuple from both the database and the engine mirror.
+    pub(crate) fn remove_p(&mut self, t: &Tuple) {
+        if let Some(rel) = self.db.get_mut(self.lr.predicate) {
+            rel.remove(t);
+        }
+        if let Some(rel) = self.engine.get_mut(self.lr.predicate) {
+            rel.remove(t);
+        }
+    }
+
+    /// Compiles (once) the delta pipeline for rule `ri` differentiated at
+    /// body position `pos`, and makes sure its probe indexes exist.
+    pub(crate) fn ensure_variant(&mut self, ri: usize, pos: usize) -> Result<(), IvmError> {
+        if self.variants.contains_key(&(ri, pos)) {
+            return Ok(());
+        }
+        let rule = self.rule_at(ri).clone();
+        let compiled = CompiledRule::compile(&rule, Some(pos), &self.db)?;
+        for (pred, cols) in compiled.required_indexes() {
+            if let Some(rel) = self.engine.get_mut(pred) {
+                rel.ensure_index(cols);
+            }
+        }
+        self.variants.insert((ri, pos), compiled);
+        Ok(())
+    }
+
+    /// Semi-naive propagation of fresh recursive tuples through the
+    /// compiled delta pipeline, incrementing counts per enumerated
+    /// instantiation. Exactly-once is guaranteed by linearity: each new
+    /// instantiation contains exactly one recursive subgoal, enumerated in
+    /// the round where that subgoal was fresh.
+    pub(crate) fn propagate(
+        &mut self,
+        mut delta: Vec<Tuple>,
+        governor: &Governor,
+        mut patch: Option<&mut IdbPatch>,
+    ) -> Result<Propagation, IvmError> {
+        let cap = self.path.round_cap();
+        let mut rounds: u64 = 0;
+        while !delta.is_empty() {
+            let progress = Progress {
+                iterations: rounds as usize,
+                tuples: self.counts.len(),
+                delta: delta.len(),
+                memory_bytes: self.engine.approx_bytes(),
+            };
+            if let Some(reason) = governor.check(progress) {
+                return Ok(Propagation::stopped(rounds, reason));
+            }
+            if crate::fault_round_trips(rounds) {
+                return Ok(Propagation::stopped(rounds, TruncationReason::Cancelled));
+            }
+            if cap.is_some_and(|c| rounds >= c) {
+                // The class's rank bound says this cannot happen; treat a
+                // violation as truncation so the caller rebuilds cold.
+                return Ok(Propagation::stopped(rounds, TruncationReason::IterationCap));
+            }
+            rounds += 1;
+            let rows = delta_rows(&self.rec_delta, &delta);
+            let mut out = Vec::new();
+            let mut counters = ProbeCounters::default();
+            if let Some(reason) = self.rec_delta.execute(
+                &self.engine,
+                rows,
+                &mut counters,
+                Some(governor),
+                &mut out,
+            )? {
+                return Ok(Propagation::stopped(rounds, reason));
+            }
+            let mut fresh = Vec::new();
+            for h in out {
+                let c = self.counts.entry(h.clone()).or_insert(0);
+                *c += 1;
+                if *c == 1 {
+                    fresh.push(h);
+                }
+            }
+            for t in &fresh {
+                self.insert_p(t.clone());
+                if let Some(p) = patch.as_deref_mut() {
+                    p.record_insert(t.clone());
+                }
+            }
+            delta = fresh;
+        }
+        Ok(Propagation {
+            rounds,
+            truncation: None,
+        })
+    }
+
+    /// Compiles (once) the backward-recount pipeline for rule `ri`: the
+    /// rule's body prefixed with a synthetic [`CAND`] atom carrying the
+    /// head's terms, differentiated at that atom. Seeded with candidate
+    /// tuples, it emits one head row per (candidate, surviving body
+    /// instantiation) pair; a candidate that conflicts with a head constant
+    /// or repeated head variable simply fails the seed match, the same
+    /// cases a per-candidate head unification would reject.
+    pub(crate) fn ensure_recount(&mut self, ri: usize) -> Result<(), IvmError> {
+        if self.recounts.contains_key(&ri) {
+            return Ok(());
+        }
+        let cand = Symbol::intern(CAND);
+        self.db.declare(cand, self.lr.dimension())?;
+        self.engine.declare(cand, self.lr.dimension());
+        let rule = self.rule_at(ri);
+        let mut body = Vec::with_capacity(rule.body.len() + 1);
+        body.push(Atom::new(cand, rule.head.terms.clone()));
+        body.extend(rule.body.iter().cloned());
+        let recount = Rule {
+            head: rule.head.clone(),
+            body,
+        };
+        let compiled = CompiledRule::compile(&recount, Some(0), &self.db)?;
+        for (pred, cols) in compiled.required_indexes() {
+            if let Some(rel) = self.engine.get_mut(pred) {
+                rel.ensure_index(cols);
+            }
+        }
+        self.recounts.insert(ri, compiled);
+        Ok(())
+    }
+}
+
+/// Result of one propagation run.
+pub(crate) struct Propagation {
+    pub rounds: u64,
+    pub truncation: Option<TruncationReason>,
+}
+
+impl Propagation {
+    fn stopped(rounds: u64, reason: TruncationReason) -> Propagation {
+        Propagation {
+            rounds,
+            truncation: Some(reason),
+        }
+    }
+}
+
+/// Seed rows for a delta pipeline from a batch of delta tuples.
+pub(crate) fn delta_rows(rule: &CompiledRule, delta: &[Tuple]) -> Vec<Row> {
+    match &rule.seed {
+        Some(seed) => seed.rows(delta.iter()),
+        None => Vec::new(),
+    }
+}
+
+/// Instantiates a rule head once per binding row — *without* deduplication,
+/// because each row is one instantiation and counting needs them all.
+pub(crate) fn head_rows(head: &Atom, bindings: &Bindings) -> Result<Vec<Tuple>, DatalogError> {
+    enum Col {
+        Fixed(Value),
+        Bound(usize),
+    }
+    let cols: Vec<Col> = head
+        .terms
+        .iter()
+        .map(|t| match t {
+            Term::Const(c) => Ok(Col::Fixed(*c)),
+            Term::Var(v) => bindings
+                .column_of(*v)
+                .map(Col::Bound)
+                .ok_or(DatalogError::UnboundVariable(*v)),
+        })
+        .collect::<Result<_, _>>()?;
+    let mut rows = Vec::with_capacity(bindings.rel.len());
+    for row in bindings.rel.iter() {
+        rows.push(
+            cols.iter()
+                .map(|c| match c {
+                    Col::Fixed(v) => *v,
+                    Col::Bound(i) => row[*i],
+                })
+                .collect(),
+        );
+    }
+    Ok(rows)
+}

@@ -1,0 +1,442 @@
+//! Patch application: counting-based insertion maintenance, DRed deletions,
+//! and the cold-saturation fallback.
+
+use crate::delta::{EdbDelta, IdbPatch};
+use crate::materialize::{delta_rows, head_rows, Materialization};
+use crate::{IvmError, MaintenancePath};
+use recurs_datalog::eval::eval_body;
+use recurs_datalog::govern::{EvalBudget, Governor, Progress, TruncationReason};
+use recurs_datalog::relation::{Relation, Tuple};
+use recurs_datalog::symbol::Symbol;
+use recurs_engine::compile::ProbeCounters;
+use recurs_obs::field;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Work counters for one patch application.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PatchStats {
+    /// EDB tuples inserted by the delta.
+    pub edb_inserted: usize,
+    /// EDB tuples deleted by the delta.
+    pub edb_deleted: usize,
+    /// Derived tuples that entered the fixpoint.
+    pub idb_inserted: usize,
+    /// Derived tuples that left the fixpoint.
+    pub idb_deleted: usize,
+    /// Tuples the overdeletion pass marked as possibly unsupported.
+    pub overdeleted: usize,
+    /// Overdeleted tuples that were rederived (still supported).
+    pub rederived: usize,
+    /// Propagation rounds across all loops.
+    pub rounds: u64,
+}
+
+/// What one [`Materialization::apply`] call did.
+#[derive(Debug)]
+pub struct PatchReport {
+    /// The path that produced the final state — the class-selected path on
+    /// success, [`MaintenancePath::ColdFallback`] when the patch was
+    /// abandoned and the fixpoint rebuilt from scratch.
+    pub path: MaintenancePath,
+    /// Why the incremental patch was abandoned, when it was.
+    pub truncation: Option<TruncationReason>,
+    /// The net change to the materialized relation; `None` after a cold
+    /// fallback (the delta is then unknown and caches must invalidate).
+    pub idb: Option<IdbPatch>,
+    /// Work counters.
+    pub stats: PatchStats,
+}
+
+impl Materialization {
+    /// Applies a normalized EDB delta, maintaining the fixpoint and counts
+    /// in place. Deletions run first (DRed), then insertions (counting).
+    ///
+    /// Truncation — by the budget or by a tripped rank-bound cap — never
+    /// yields a partial result: the materialization is rebuilt by cold
+    /// saturation of the fully-updated EDB under an unlimited budget, and
+    /// the report says so. On `Err` the materialization may be inconsistent
+    /// and must be discarded by the caller.
+    pub fn apply(
+        &mut self,
+        delta: &EdbDelta,
+        budget: &EvalBudget,
+    ) -> Result<PatchReport, IvmError> {
+        if delta.touches(self.lr.predicate) {
+            return Err(IvmError::IdbUpdate(self.lr.predicate));
+        }
+        let mut stats = PatchStats {
+            edb_inserted: delta.inserted_count(),
+            edb_deleted: delta.deleted_count(),
+            ..PatchStats::default()
+        };
+        if delta.is_empty() {
+            return Ok(PatchReport {
+                path: self.path,
+                truncation: None,
+                idb: Some(IdbPatch::empty(self.lr.dimension())),
+                stats,
+            });
+        }
+        let governor = budget.start();
+        let mut patch = IdbPatch::empty(self.lr.dimension());
+        let mut truncation = None;
+        if !delta.deleted.is_empty() {
+            truncation = self.dred_delete(&delta.deleted, &governor, &mut patch, &mut stats)?;
+        }
+        if truncation.is_none() && !delta.inserted.is_empty() {
+            truncation = self.count_insert(&delta.inserted, &governor, &mut patch, &mut stats)?;
+        }
+        let report = match truncation {
+            None => {
+                stats.idb_inserted = patch.inserted.len();
+                stats.idb_deleted = patch.deleted.len();
+                PatchReport {
+                    path: self.path,
+                    truncation: None,
+                    idb: Some(patch),
+                    stats,
+                }
+            }
+            Some(reason) => {
+                self.rebuild_cold(delta)?;
+                PatchReport {
+                    path: MaintenancePath::ColdFallback,
+                    truncation: Some(reason),
+                    idb: None,
+                    stats,
+                }
+            }
+        };
+        self.emit_patch_event(&report);
+        Ok(report)
+    }
+
+    /// Counting-based insertion maintenance.
+    ///
+    /// Per rule and per body position `i` whose relation gained tuples, the
+    /// body is evaluated with positions `< i` overridden to their *new*
+    /// relations, position `i` to the delta alone, and positions `> i` left
+    /// at the old state — the standard differentiation that enumerates each
+    /// *new* instantiation exactly once even when one batch (or one
+    /// relation, used twice) touches several positions of a body. The
+    /// recursive position is never overridden (it is not an EDB relation),
+    /// so instantiations through fresh recursive tuples are left to the
+    /// delta pipeline, which sees the fully-updated EDB.
+    fn count_insert(
+        &mut self,
+        ins: &BTreeMap<Symbol, Relation>,
+        governor: &Governor,
+        patch: &mut IdbPatch,
+        stats: &mut PatchStats,
+    ) -> Result<Option<TruncationReason>, IvmError> {
+        // Declare brand-new relations (empty, so "old" reads are empty).
+        for (&pred, rel) in ins {
+            self.db.declare(pred, rel.arity())?;
+            self.engine.declare(pred, rel.arity());
+        }
+        let mut new_rels: HashMap<Symbol, Relation> = HashMap::new();
+        for (&pred, dr) in ins {
+            let mut merged = self
+                .db
+                .get(pred)
+                .cloned()
+                .unwrap_or_else(|| Relation::new(dr.arity()));
+            merged.union_in_place(dr);
+            new_rels.insert(pred, merged);
+        }
+        // Enumerate new instantiations against the *old* database state.
+        let rules: Vec<_> = (0..self.rule_count())
+            .map(|ri| self.rule_at(ri).clone())
+            .collect();
+        let mut fresh: Vec<Tuple> = Vec::new();
+        for rule in &rules {
+            if let Some(reason) = governor.poll() {
+                return Ok(Some(reason));
+            }
+            for (i, atom) in rule.body.iter().enumerate() {
+                let Some(delta_rel) = ins.get(&atom.predicate) else {
+                    continue;
+                };
+                let mut overrides: HashMap<usize, &Relation> = HashMap::new();
+                for (j, earlier) in rule.body.iter().enumerate().take(i) {
+                    if let Some(merged) = new_rels.get(&earlier.predicate) {
+                        overrides.insert(j, merged);
+                    }
+                }
+                overrides.insert(i, delta_rel);
+                let bindings = eval_body(&self.db, &rule.body, &overrides)?;
+                for h in head_rows(&rule.head, &bindings)? {
+                    let c = self.counts.entry(h.clone()).or_insert(0);
+                    *c += 1;
+                    if *c == 1 {
+                        fresh.push(h);
+                    }
+                }
+            }
+        }
+        // Install the EDB delta, then the fresh tuples, then propagate.
+        for (&pred, dr) in ins {
+            if let Some(rel) = self.db.get_mut(pred) {
+                for t in dr.iter() {
+                    rel.insert(t.clone());
+                }
+            }
+            if let Some(rel) = self.engine.get_mut(pred) {
+                for t in dr.iter() {
+                    rel.insert(t.clone());
+                }
+            }
+        }
+        for t in &fresh {
+            self.insert_p(t.clone());
+            patch.record_insert(t.clone());
+        }
+        let prop = self.propagate(fresh, governor, Some(patch))?;
+        stats.rounds += prop.rounds;
+        Ok(prop.truncation)
+    }
+
+    /// DRed deletion maintenance: overdelete, remove, rederive.
+    ///
+    /// *Overdelete* runs set-based over the old, untouched state: compiled
+    /// delta pipelines differentiated at each deleted relation's body
+    /// positions seed the affected set, and the recursive delta pipeline
+    /// closes it (a support chain among candidates is a delta chain at the
+    /// recursive position). Counts are irrelevant here — marking is
+    /// idempotent — which is why pipeline duplicates are harmless.
+    ///
+    /// *Rederive* makes the counts exact again. Every candidate is
+    /// recounted backward (head bound into the body, bindings counted over
+    /// the shrunken database) at a global timestamp; positive counts
+    /// reinsert immediately. A forward pass then replays support among
+    /// candidates in reinsertion order: an instantiation through subgoal
+    /// `v` with head `h` is added to `h`'s count only when `v` entered the
+    /// relation *after* `h`'s recount — exactly the instantiations the
+    /// backward pass could not see. Pure self-support dies (the backward
+    /// recount never sees the tuple itself), and mutual-support cycles
+    /// revive only if some member rederives independently.
+    fn dred_delete(
+        &mut self,
+        del: &BTreeMap<Symbol, Relation>,
+        governor: &Governor,
+        patch: &mut IdbPatch,
+        stats: &mut PatchStats,
+    ) -> Result<Option<TruncationReason>, IvmError> {
+        let p = self.lr.predicate;
+        // --- Overdelete: seed from deleted EDB positions.
+        let mut seeds: Vec<(usize, usize)> = Vec::new();
+        for ri in 0..self.rule_count() {
+            for (i, atom) in self.rule_at(ri).body.iter().enumerate() {
+                if atom.predicate != p && del.contains_key(&atom.predicate) {
+                    seeds.push((ri, i));
+                }
+            }
+        }
+        for &(ri, i) in &seeds {
+            self.ensure_variant(ri, i)?;
+        }
+        let mut cand_set: HashSet<Tuple> = HashSet::new();
+        let mut cand_order: Vec<Tuple> = Vec::new();
+        let p_rel = self
+            .db
+            .get(p)
+            .cloned()
+            .unwrap_or_else(|| Relation::new(self.lr.dimension()));
+        for &(ri, i) in &seeds {
+            if let Some(reason) = governor.poll() {
+                return Ok(Some(reason));
+            }
+            let pred = self.rule_at(ri).body[i].predicate;
+            let deleted: Vec<Tuple> = del[&pred].iter().cloned().collect();
+            let variant = &self.variants[&(ri, i)];
+            let rows = delta_rows(variant, &deleted);
+            let mut out = Vec::new();
+            let mut counters = ProbeCounters::default();
+            if let Some(reason) =
+                variant.execute(&self.engine, rows, &mut counters, Some(governor), &mut out)?
+            {
+                return Ok(Some(reason));
+            }
+            for h in out {
+                if p_rel.contains(&h) && cand_set.insert(h.clone()) {
+                    cand_order.push(h);
+                }
+            }
+        }
+        // --- Overdelete: close over recursive support chains (old state).
+        let cap = self.path.round_cap();
+        let mut rounds: u64 = 0;
+        let mut frontier = cand_order.clone();
+        while !frontier.is_empty() {
+            let progress = Progress {
+                iterations: rounds as usize,
+                tuples: cand_set.len(),
+                delta: frontier.len(),
+                memory_bytes: self.engine.approx_bytes(),
+            };
+            if let Some(reason) = governor.check(progress) {
+                return Ok(Some(reason));
+            }
+            if crate::fault_round_trips(rounds) {
+                return Ok(Some(TruncationReason::Cancelled));
+            }
+            if cap.is_some_and(|c| rounds >= c) {
+                return Ok(Some(TruncationReason::IterationCap));
+            }
+            rounds += 1;
+            let rows = delta_rows(&self.rec_delta, &frontier);
+            let mut out = Vec::new();
+            let mut counters = ProbeCounters::default();
+            if let Some(reason) = self.rec_delta.execute(
+                &self.engine,
+                rows,
+                &mut counters,
+                Some(governor),
+                &mut out,
+            )? {
+                return Ok(Some(reason));
+            }
+            let mut next = Vec::new();
+            for h in out {
+                if p_rel.contains(&h) && cand_set.insert(h.clone()) {
+                    cand_order.push(h.clone());
+                    next.push(h);
+                }
+            }
+            frontier = next;
+        }
+        stats.overdeleted = cand_set.len();
+        stats.rounds += rounds;
+
+        // --- Physically remove the deleted EDB tuples and every candidate.
+        for (&pred, dr) in del {
+            for t in dr.iter() {
+                self.db.remove(pred, t)?;
+                if let Some(rel) = self.engine.get_mut(pred) {
+                    rel.remove(t);
+                }
+            }
+        }
+        for t in &cand_order {
+            self.remove_p(t);
+            self.counts.remove(t);
+            patch.record_delete(t.clone());
+        }
+
+        // --- Rederive, phase 1: batch backward recount. Every candidate is
+        // physically removed at this point, so seeding the recount pipeline
+        // with the whole candidate set tallies, per candidate, exactly its
+        // support from *surviving* tuples — candidate-to-candidate support
+        // contributes nothing here and is replayed in phase 2. One indexed
+        // pipeline run per rule replaces one hash-join rebuild per
+        // candidate.
+        let mut recount: HashMap<Tuple, u64> = HashMap::new();
+        for ri in 0..self.rule_count() {
+            if let Some(reason) = governor.poll() {
+                return Ok(Some(reason));
+            }
+            self.ensure_recount(ri)?;
+            // `recounts` is append-only, so the entry just ensured exists.
+            let pipeline = &self.recounts[&ri];
+            let rows = delta_rows(pipeline, &cand_order);
+            let mut out = Vec::new();
+            let mut counters = ProbeCounters::default();
+            if let Some(reason) =
+                pipeline.execute(&self.engine, rows, &mut counters, Some(governor), &mut out)?
+            {
+                return Ok(Some(reason));
+            }
+            for h in out {
+                *recount.entry(h).or_insert(0) += 1;
+            }
+        }
+        let mut wave: Vec<Tuple> = Vec::new();
+        for c in &cand_order {
+            if let Some(&cnt) = recount.get(c) {
+                self.counts.insert(c.clone(), cnt);
+                self.insert_p(c.clone());
+                patch.record_insert(c.clone());
+                wave.push(c.clone());
+                stats.rederived += 1;
+            }
+        }
+        // --- Rederive, phase 2: replay support among revived candidates in
+        // waves. The rule is linear — each instantiation has exactly one
+        // recursive subgoal — so every candidate-supported instantiation is
+        // enumerated exactly once, in the wave where its subgoal revived.
+        // Surviving heads are skipped: any tuple with support through a
+        // candidate was itself enumerated by the overdeletion closure.
+        while !wave.is_empty() {
+            if let Some(reason) = governor.poll() {
+                return Ok(Some(reason));
+            }
+            stats.rounds += 1;
+            let rows = delta_rows(&self.rec_delta, &wave);
+            let mut out = Vec::new();
+            let mut counters = ProbeCounters::default();
+            if let Some(reason) = self.rec_delta.execute(
+                &self.engine,
+                rows,
+                &mut counters,
+                Some(governor),
+                &mut out,
+            )? {
+                return Ok(Some(reason));
+            }
+            let mut next = Vec::new();
+            for h in out {
+                if !cand_set.contains(&h) {
+                    continue;
+                }
+                let c = self.counts.entry(h.clone()).or_insert(0);
+                *c += 1;
+                if *c == 1 {
+                    self.insert_p(h.clone());
+                    patch.record_insert(h.clone());
+                    next.push(h.clone());
+                    stats.rederived += 1;
+                }
+            }
+            wave = next;
+        }
+        Ok(None)
+    }
+
+    /// Abandons the incremental patch: finishes applying the delta to the
+    /// EDB (idempotently — parts may already be in) and re-saturates from
+    /// scratch under an unlimited budget.
+    fn rebuild_cold(&mut self, delta: &EdbDelta) -> Result<(), IvmError> {
+        let mut edb = self.current_edb();
+        delta.apply_to(&mut edb)?;
+        let lr = self.lr.clone();
+        let obs = self.obs.clone();
+        *self = Materialization::saturate(&lr, &edb, &EvalBudget::unlimited(), &obs)?;
+        Ok(())
+    }
+
+    fn emit_patch_event(&self, report: &PatchReport) {
+        self.obs.counter(
+            "recurs_ivm_patches_total",
+            &[("path", report.path.label())],
+            1,
+        );
+        if !self.obs.enabled() {
+            return;
+        }
+        let stats = &report.stats;
+        let mut fields = vec![
+            ("path", field::s(report.path.label())),
+            ("edb_inserted", field::uz(stats.edb_inserted)),
+            ("edb_deleted", field::uz(stats.edb_deleted)),
+            ("idb_inserted", field::uz(stats.idb_inserted)),
+            ("idb_deleted", field::uz(stats.idb_deleted)),
+            ("overdeleted", field::uz(stats.overdeleted)),
+            ("rederived", field::uz(stats.rederived)),
+            ("rounds", field::u(stats.rounds)),
+        ];
+        if let Some(reason) = report.truncation {
+            fields.push(("truncation", field::s(reason.to_string())));
+        }
+        self.obs.event("ivm.patch", &fields);
+    }
+}

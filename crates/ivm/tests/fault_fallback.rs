@@ -1,0 +1,95 @@
+//! Fault-injection drills: an armed round hook trips maintenance loops
+//! mid-patch, and the cold-saturation fallback must still land the
+//! materialization on the exact from-scratch state.
+
+#![cfg(feature = "fault-inject")]
+
+use recurs_datalog::database::Database;
+use recurs_datalog::eval::semi_naive;
+use recurs_datalog::govern::EvalBudget;
+use recurs_datalog::parser::parse_program;
+use recurs_datalog::relation::{tuple_u64, Relation};
+use recurs_datalog::rule::LinearRecursion;
+use recurs_datalog::symbol::Symbol;
+use recurs_datalog::validate::validate_with_generic_exit;
+use recurs_ivm::{fault, EdbDelta, FactOp, MaintenancePath, Materialization};
+use recurs_obs::Obs;
+
+fn tc() -> LinearRecursion {
+    let program =
+        parse_program("P(x, y) :- A(x, z), P(z, y).\nP(x, y) :- E(x, y).").expect("tc parses");
+    validate_with_generic_exit(&program).expect("tc is linear")
+}
+
+fn chain_db(n: u64) -> Database {
+    let mut db = Database::new();
+    let pairs: Vec<(u64, u64)> = (1..n).map(|i| (i, i + 1)).collect();
+    db.insert_relation("A", Relation::from_pairs(pairs.iter().copied()));
+    db.insert_relation("E", Relation::from_pairs(pairs.iter().copied()));
+    db
+}
+
+fn oracle(lr: &LinearRecursion, edb: &Database) -> Relation {
+    let mut db = edb.clone();
+    db.insert_relation(lr.predicate, Relation::new(lr.dimension()));
+    semi_naive(&mut db, &lr.to_program(), None).expect("oracle saturates");
+    db.get(lr.predicate).expect("oracle relation").clone()
+}
+
+#[test]
+fn tripped_insert_propagation_falls_back_cold_and_stays_exact() {
+    let _gate = fault::exclusive();
+    let lr = tc();
+    let mut db = chain_db(48);
+    let mut mat =
+        Materialization::saturate(&lr, &db, &EvalBudget::unlimited(), &Obs::noop()).unwrap();
+    let e = Symbol::intern("E");
+    let ops = vec![FactOp::Insert(e, tuple_u64([48, 49]))];
+    let delta = EdbDelta::normalize(&ops, &db).unwrap();
+    fault::arm_round_trip(3);
+    let report = mat.apply(&delta, &EvalBudget::unlimited()).unwrap();
+    fault::disarm();
+    assert_eq!(report.path, MaintenancePath::ColdFallback);
+    assert!(report.truncation.is_some());
+    assert!(report.idb.is_none());
+    delta.apply_to(&mut db).unwrap();
+    assert_eq!(mat.relation(), &oracle(&lr, &db));
+}
+
+#[test]
+fn tripped_overdeletion_falls_back_cold_and_stays_exact() {
+    let _gate = fault::exclusive();
+    let lr = tc();
+    let mut db = chain_db(48);
+    let mut mat =
+        Materialization::saturate(&lr, &db, &EvalBudget::unlimited(), &Obs::noop()).unwrap();
+    let a = Symbol::intern("A");
+    // Deleting an interior edge drives a multi-round overdeletion closure.
+    let ops = vec![FactOp::Delete(a, tuple_u64([2, 3]))];
+    let delta = EdbDelta::normalize(&ops, &db).unwrap();
+    fault::arm_round_trip(1);
+    let report = mat.apply(&delta, &EvalBudget::unlimited()).unwrap();
+    fault::disarm();
+    assert_eq!(report.path, MaintenancePath::ColdFallback);
+    assert!(report.truncation.is_some());
+    delta.apply_to(&mut db).unwrap();
+    assert_eq!(mat.relation(), &oracle(&lr, &db));
+}
+
+#[test]
+fn disarmed_hook_leaves_patches_alone() {
+    let _gate = fault::exclusive();
+    fault::disarm();
+    let lr = tc();
+    let mut db = chain_db(16);
+    let mut mat =
+        Materialization::saturate(&lr, &db, &EvalBudget::unlimited(), &Obs::noop()).unwrap();
+    let e = Symbol::intern("E");
+    let ops = vec![FactOp::Insert(e, tuple_u64([16, 17]))];
+    let delta = EdbDelta::normalize(&ops, &db).unwrap();
+    let report = mat.apply(&delta, &EvalBudget::unlimited()).unwrap();
+    assert_ne!(report.path, MaintenancePath::ColdFallback);
+    assert!(report.truncation.is_none());
+    delta.apply_to(&mut db).unwrap();
+    assert_eq!(mat.relation(), &oracle(&lr, &db));
+}

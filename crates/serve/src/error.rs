@@ -22,6 +22,9 @@ pub enum ServeError {
         /// The recursive predicate the service serves.
         serves: Symbol,
     },
+    /// An update tried to insert or delete the recursive predicate's tuples
+    /// directly; the materialized relation is derived, never stored.
+    DerivedUpdate(Symbol),
 }
 
 impl fmt::Display for ServeError {
@@ -35,6 +38,9 @@ impl fmt::Display for ServeError {
                     "query predicate {got} is not served (service answers {serves})"
                 )
             }
+            ServeError::DerivedUpdate(p) => {
+                write!(f, "relation {p} is derived and cannot be updated directly")
+            }
         }
     }
 }
@@ -44,7 +50,7 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Datalog(e) => Some(e),
             ServeError::Engine(e) => Some(e),
-            ServeError::WrongPredicate { .. } => None,
+            ServeError::WrongPredicate { .. } | ServeError::DerivedUpdate(_) => None,
         }
     }
 }

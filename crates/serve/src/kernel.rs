@@ -44,17 +44,22 @@ pub enum PointKernelKind {
     /// Governed full saturation of the recursion, then a select/project of
     /// the query over the fixpoint.
     FullSaturation,
+    /// Select/project over the service's incrementally maintained
+    /// materialization of the recursion — no evaluation at all. Used when
+    /// the view's version matches the query's snapshot.
+    MaterializedView,
 }
 
 impl PointKernelKind {
     /// Low-cardinality dispatch-family label for metrics: `"bounded"`,
-    /// `"magic"`, or `"saturate"` (the rank is dropped so label sets stay
-    /// bounded regardless of the served program).
+    /// `"magic"`, `"saturate"`, or `"materialized"` (the rank is dropped so
+    /// label sets stay bounded regardless of the served program).
     pub fn family(&self) -> &'static str {
         match self {
             PointKernelKind::BoundedUnroll { .. } => "bounded",
             PointKernelKind::MagicIterate => "magic",
             PointKernelKind::FullSaturation => "saturate",
+            PointKernelKind::MaterializedView => "materialized",
         }
     }
 
@@ -64,6 +69,7 @@ impl PointKernelKind {
             PointKernelKind::BoundedUnroll { rank } => format!("bounded({rank})"),
             PointKernelKind::MagicIterate => "magic".to_string(),
             PointKernelKind::FullSaturation => "saturate".to_string(),
+            PointKernelKind::MaterializedView => "materialized".to_string(),
         }
     }
 }
@@ -169,7 +175,12 @@ impl PointPlans {
         match self.select(query) {
             PointKernelKind::BoundedUnroll { rank } => self.answer_bounded(db, query, budget, rank),
             PointKernelKind::MagicIterate => self.answer_magic(db, query, budget, mode, obs),
-            PointKernelKind::FullSaturation => self.answer_saturate(db, query, budget, mode, obs),
+            // The materialized-view kernel lives in the service (it needs the
+            // maintained view); `select` never returns it, and if a caller
+            // asks for it without a view the saturating kernel is the answer.
+            PointKernelKind::FullSaturation | PointKernelKind::MaterializedView => {
+                self.answer_saturate(db, query, budget, mode, obs)
+            }
         }
     }
 

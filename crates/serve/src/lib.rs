@@ -9,6 +9,11 @@
 //! * **Snapshot isolation** ([`snapshot`]): readers evaluate against an
 //!   immutable versioned snapshot; writers install the next version
 //!   copy-on-write without blocking in-flight queries.
+//! * **Incremental updates** ([`QueryService::apply_update`]): ground fact
+//!   batches (`+fact` / `-fact`) normalize to a net EDB delta; the
+//!   `recurs-ivm` counting/DRed maintenance patches the service's
+//!   materialized view and the warm cache entries in place instead of
+//!   recomputing, and all-no-op groups don't even bump the version.
 //! * **Class-aware point-query kernels** ([`kernel`]): per query, the
 //!   classification from `recurs-core` dispatches to rank-bounded unrolling
 //!   (provably bounded classes — no fixpoint loop at all), magic-sets
@@ -62,10 +67,13 @@ pub mod protocol;
 pub mod service;
 pub mod snapshot;
 pub mod stats;
+pub mod version;
 
-pub use cache::{CacheCounters, SaturationCache};
+pub use cache::{CacheCounters, QueryPattern, SaturationCache};
 pub use error::ServeError;
 pub use kernel::{PointAnswer, PointKernelKind, PointPlans};
-pub use service::{QueryService, Reply, ServeConfig};
-pub use snapshot::{Snapshot, SnapshotStore};
+pub use recurs_ivm::FactOp;
+pub use service::{QueryService, Reply, ServeConfig, UpdateOutcome};
+pub use snapshot::{Snapshot, SnapshotStore, SnapshotUpdate};
 pub use stats::{CacheOutcome, ServeStats, ServiceStats};
+pub use version::Version;

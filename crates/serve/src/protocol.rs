@@ -5,6 +5,12 @@
 //!
 //! * `?- P(c, X).` (the `?-` and trailing `.` are optional) — answer a query;
 //! * `+ A(1, 2).` — insert a ground fact, installing a new snapshot version;
+//! * `- A(1, 2).` — delete a ground fact;
+//! * `+A(1, 2) -E(2, 3) +B(7, 8).` — a batched update group: any mix of
+//!   signed ground facts on one line, applied atomically as one snapshot
+//!   version (one maintenance pass, one version bump). Duplicate inserts and
+//!   absent deletes are no-ops: an all-no-op group replies
+//!   `{"type":"unchanged",...}` without bumping the version;
 //! * `!stats` — dump the service-wide statistics;
 //! * `!metrics` — dump the service metrics in Prometheus text exposition
 //!   format (the one multi-line reply; its `# EOF` terminator line is the
@@ -17,11 +23,12 @@
 //! `"ok"` field; errors are `{"ok":false,"error":"..."}` and never kill the
 //! session.
 
-use crate::error::ServeError;
-use crate::service::{QueryService, Reply};
+use crate::service::{QueryService, Reply, UpdateOutcome};
 use recurs_datalog::parser::parse_atom;
 use recurs_datalog::relation::Tuple;
+use recurs_datalog::symbol::Symbol;
 use recurs_datalog::term::Term;
+use recurs_ivm::FactOp;
 use serde::{Serialize as _, Value};
 use std::io::{BufRead, Write};
 
@@ -80,8 +87,8 @@ fn handle_request(service: &QueryService, line: &str) -> Result<Value, String> {
             ),
         ]));
     }
-    if let Some(fact) = line.strip_prefix('+') {
-        return insert_fact(service, fact);
+    if line.starts_with('+') || line.starts_with('-') {
+        return apply_update_group(service, line);
     }
     if line.starts_with('!') {
         return Err(format!("unknown command: {line}"));
@@ -93,9 +100,68 @@ fn handle_request(service: &QueryService, line: &str) -> Result<Value, String> {
     Ok(render_reply(text, &reply))
 }
 
-fn insert_fact(service: &QueryService, fact: &str) -> Result<Value, String> {
-    let text = fact.trim();
-    let text = text.strip_suffix('.').unwrap_or(text).trim();
+/// Splits one line into signed ground facts by scanning for `+`/`-` at
+/// parenthesis depth 0, parses each, and applies the whole group as one
+/// atomic update through the service's incremental-maintenance path.
+fn apply_update_group(service: &QueryService, line: &str) -> Result<Value, String> {
+    let ops = parse_update_group(line)?;
+    match service.apply_update(&ops).map_err(|e| e.to_string())? {
+        UpdateOutcome::Unchanged { version } => Ok(Value::object([
+            ("ok", Value::Bool(true)),
+            ("type", Value::string("unchanged")),
+            ("version", version.to_value()),
+        ])),
+        UpdateOutcome::Installed {
+            snapshot,
+            inserted,
+            deleted,
+            maintenance,
+        } => Ok(Value::object([
+            ("ok", Value::Bool(true)),
+            ("type", Value::string("snapshot")),
+            ("version", snapshot.version().to_value()),
+            (
+                "fingerprint",
+                Value::string(snapshot.fingerprint().to_string()),
+            ),
+            ("inserted", inserted.to_value()),
+            ("deleted", deleted.to_value()),
+            ("maintenance", Value::string(maintenance)),
+        ])),
+    }
+}
+
+fn parse_update_group(line: &str) -> Result<Vec<FactOp>, String> {
+    // Sign positions at paren depth 0 delimit the facts; signs inside
+    // argument lists (future negative numerals) stay untouched.
+    let mut starts = Vec::new();
+    let mut depth = 0usize;
+    for (i, c) in line.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            '+' | '-' if depth == 0 => starts.push(i),
+            _ => {}
+        }
+    }
+    debug_assert!(!starts.is_empty(), "caller checked the leading sign");
+    let mut ops = Vec::with_capacity(starts.len());
+    for (n, &start) in starts.iter().enumerate() {
+        let end = starts.get(n + 1).copied().unwrap_or(line.len());
+        let insert = line[start..].starts_with('+');
+        let text = line[start + 1..end].trim();
+        let text = text.strip_suffix('.').unwrap_or(text).trim();
+        let (pred, tuple) = parse_ground_fact(text)?;
+        ops.push(if insert {
+            FactOp::Insert(pred, tuple)
+        } else {
+            FactOp::Delete(pred, tuple)
+        });
+    }
+    Ok(ops)
+}
+
+fn parse_ground_fact(text: &str) -> Result<(Symbol, Tuple), String> {
     let atom = parse_atom(text).map_err(|e| e.to_string())?;
     let mut values = Vec::with_capacity(atom.terms.len());
     for t in &atom.terms {
@@ -104,19 +170,7 @@ fn insert_fact(service: &QueryService, fact: &str) -> Result<Value, String> {
             Term::Var(v) => return Err(format!("fact {text} is not ground: variable {v}")),
         }
     }
-    let snap = service
-        .update(|db| {
-            db.declare(atom.predicate, values.len())?;
-            db.insert(atom.predicate, Tuple::from(values.as_slice()))?;
-            Ok(())
-        })
-        .map_err(|e: ServeError| e.to_string())?;
-    Ok(Value::object([
-        ("ok", Value::Bool(true)),
-        ("type", Value::string("snapshot")),
-        ("version", snap.version().to_value()),
-        ("fingerprint", Value::string(snap.fingerprint().to_string())),
-    ]))
+    Ok((atom.predicate, Tuple::from(values.as_slice())))
 }
 
 fn render_reply(query: &str, reply: &Reply) -> Value {
@@ -201,6 +255,55 @@ mod tests {
         assert!(r.contains("\"version\":2"), "got {r}");
         let r = reply(&s, "P(1, y)");
         assert!(r.contains("\"count\":3"), "got {r}");
+    }
+
+    #[test]
+    fn delete_fact_installs_a_new_version_and_queries_see_it() {
+        let s = service();
+        let r = reply(&s, "-E(2, 3).");
+        assert!(r.contains("\"version\":1"), "got {r}");
+        assert!(r.contains("\"deleted\":1"), "got {r}");
+        assert!(r.contains("\"maintenance\":"), "got {r}");
+        let r = reply(&s, "P(1, y)");
+        assert!(r.contains("\"count\":1"), "got {r}"); // only E(1,2) is left
+    }
+
+    #[test]
+    fn noop_updates_reply_unchanged_without_a_version_bump() {
+        let s = service();
+        let r = reply(&s, "+A(1, 2).");
+        assert!(r.contains("\"type\":\"unchanged\""), "got {r}");
+        assert!(r.contains("\"version\":0"), "got {r}");
+        let r = reply(&s, "-A(9, 9).");
+        assert!(r.contains("\"type\":\"unchanged\""), "got {r}");
+        // Cancelling pair inside one group: also a no-op.
+        let r = reply(&s, "+A(7, 8) -A(7, 8).");
+        assert!(r.contains("\"type\":\"unchanged\""), "got {r}");
+        assert!(reply(&s, "!snapshot").contains("\"version\":0"));
+    }
+
+    #[test]
+    fn batched_update_group_is_one_atomic_version() {
+        let s = service();
+        let r = reply(&s, "+A(3, 4) +E(3, 4) -E(2, 3).");
+        assert!(r.contains("\"version\":1"), "got {r}");
+        assert!(r.contains("\"inserted\":2"), "got {r}");
+        assert!(r.contains("\"deleted\":1"), "got {r}");
+        // 1→2 (E), 3→4 (E), 1→2→3→4 via A-chain... E(2,3) is gone, so
+        // P(1,*) = {2} ∪ A(1,2)∘P(2,*) and P(2,*) = A(2,3)∘P(3,*) = {4}.
+        let r = reply(&s, "P(1, y)");
+        assert!(r.contains("\"count\":2"), "got {r}");
+        assert!(r.contains("[[\"2\"],[\"4\"]]"), "got {r}");
+    }
+
+    #[test]
+    fn updates_to_the_served_predicate_are_rejected() {
+        let s = service();
+        let r = reply(&s, "+P(1, 3).");
+        assert!(r.contains("\"ok\":false"), "got {r}");
+        assert!(r.contains("derived"), "got {r}");
+        let r = reply(&s, "-P(1, 2).");
+        assert!(r.contains("\"ok\":false"), "got {r}");
     }
 
     #[test]

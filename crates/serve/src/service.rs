@@ -1,22 +1,25 @@
 //! The long-lived query service: snapshots + kernels + cache + admission.
 
 use crate::admission::Semaphore;
-use crate::cache::{canonical_query_key, CacheKey, SaturationCache};
+use crate::cache::{canonical_query_key, CacheKey, QueryPattern, SaturationCache};
 use crate::error::ServeError;
 use crate::kernel::{PointKernelKind, PointPlans};
-use crate::snapshot::{Snapshot, SnapshotStore};
+use crate::snapshot::{Snapshot, SnapshotStore, SnapshotUpdate};
 use crate::stats::{CacheOutcome, ServeStats, ServiceStats};
+use crate::version::Version;
 use recurs_core::Classification;
 use recurs_datalog::database::Database;
 use recurs_datalog::error::DatalogError;
+use recurs_datalog::eval::answer_query;
 use recurs_datalog::fingerprint::{self, Fingerprint};
 use recurs_datalog::govern::{EvalBudget, Outcome};
 use recurs_datalog::relation::Relation;
 use recurs_datalog::term::Atom;
 use recurs_engine::EngineMode;
+use recurs_ivm::{EdbDelta, FactOp, IdbPatch, Materialization};
 use recurs_obs::aggregate::Aggregator;
 use recurs_obs::{field, Obs};
-use std::sync::Arc;
+use std::sync::{Arc, PoisonError, RwLock};
 use std::time::Instant;
 
 /// Service configuration.
@@ -64,19 +67,59 @@ pub struct Reply {
     pub stats: ServeStats,
 }
 
+/// What [`QueryService::apply_update`] did.
+#[derive(Debug)]
+pub enum UpdateOutcome {
+    /// Every operation was a no-op (duplicate insert, absent delete, or a
+    /// cancelling pair): nothing changed and the version did not move.
+    Unchanged {
+        /// The still-current version.
+        version: Version,
+    },
+    /// A new snapshot version was installed.
+    Installed {
+        /// The newly installed snapshot.
+        snapshot: Arc<Snapshot>,
+        /// Net EDB tuples inserted.
+        inserted: usize,
+        /// Net EDB tuples deleted.
+        deleted: usize,
+        /// How the materialized view absorbed the change — a
+        /// [`MaintenancePath`](recurs_ivm::MaintenancePath) label
+        /// (`"bounded-recount"`, `"frontier"`, `"generic-dred"`,
+        /// `"cold-fallback"`), `"saturate"` when the view was (re)built from
+        /// scratch, or `"none"` when no view could be maintained.
+        maintenance: &'static str,
+    },
+}
+
+/// The incrementally maintained fixpoint, tagged with the snapshot version
+/// it is exact for.
+#[derive(Debug)]
+struct ViewState {
+    version: Version,
+    mat: Materialization,
+}
+
 /// A thread-safe, long-lived query service for one linear recursion.
 ///
 /// Readers call [`QueryService::query`] concurrently from any number of
-/// threads; writers install new fact snapshots with [`QueryService::update`]
-/// without blocking in-flight readers (copy-on-write snapshot isolation).
-/// Completed answers are cached per `(program, snapshot version, adorned
-/// query)`; truncated answers never are.
+/// threads; writers install new fact snapshots with
+/// [`QueryService::apply_update`] (incrementally maintained) or
+/// [`QueryService::update`] (generic edits) without blocking in-flight
+/// readers (copy-on-write snapshot isolation). Completed answers are cached
+/// per `(program, snapshot version, adorned query)`; truncated answers never
+/// are.
 #[derive(Debug)]
 pub struct QueryService {
     plans: PointPlans,
     program_fingerprint: Fingerprint,
     store: SnapshotStore,
     cache: Option<SaturationCache>,
+    /// Lazily built on the first [`QueryService::apply_update`]; patched in
+    /// place by every one after. Queries read it when its version matches
+    /// their snapshot. Dropped by generic [`QueryService::update`] edits.
+    view: RwLock<Option<ViewState>>,
     admission: Semaphore,
     metrics: Arc<Aggregator>,
     obs: Obs,
@@ -110,6 +153,7 @@ impl QueryService {
             cache: (config.cache_capacity > 0).then(|| {
                 SaturationCache::with_obs(config.cache_capacity, config.cache_shards, obs.clone())
             }),
+            view: RwLock::new(None),
             admission: Semaphore::new(config.max_concurrent),
             metrics,
             obs,
@@ -136,21 +180,154 @@ impl QueryService {
     /// Installs the next snapshot version copy-on-write and invalidates the
     /// cache entries of every dead version. In-flight readers keep their
     /// version; queries admitted after this returns see the new one.
+    ///
+    /// This is the *generic* edit path: the change is arbitrary, so the
+    /// materialized view is dropped and warm cache entries cannot be
+    /// carried. For ground fact batches prefer
+    /// [`QueryService::apply_update`], which maintains both incrementally.
     pub fn update(
         &self,
         edit: impl FnOnce(&mut Database) -> Result<(), DatalogError>,
     ) -> Result<Arc<Snapshot>, ServeError> {
         let snap = self.store.update(edit)?;
+        *self.view.write().unwrap_or_else(PoisonError::into_inner) = None;
         if let Some(cache) = &self.cache {
             cache.retain_version(snap.version());
         }
         self.obs
             .counter("recurs_serve_snapshot_updates_total", &[], 1);
         if self.obs.enabled() {
-            self.obs
-                .event("serve.snapshot", &[("version", field::u(snap.version()))]);
+            self.obs.event(
+                "serve.snapshot",
+                &[("version", field::u(snap.version().get()))],
+            );
         }
         Ok(snap)
+    }
+
+    /// Applies a group of ground fact operations atomically: the group's net
+    /// delta is normalized against the current snapshot (duplicate inserts
+    /// and absent deletes are no-ops; an all-no-op group returns
+    /// [`UpdateOutcome::Unchanged`] without bumping the version), the next
+    /// snapshot is installed copy-on-write, and the materialized view plus
+    /// every warm cache entry are *patched in place* through counting /
+    /// DRed maintenance instead of being recomputed or dropped.
+    ///
+    /// Operations on the recursive predicate are rejected — it is derived,
+    /// never stored.
+    pub fn apply_update(&self, ops: &[FactOp]) -> Result<UpdateOutcome, ServeError> {
+        let served = self.plans.recursion().predicate;
+        if let Some(op) = ops.iter().find(|op| op.predicate() == served) {
+            return Err(ServeError::DerivedUpdate(op.predicate()));
+        }
+        let start = Instant::now();
+        match self.store.apply_delta(ops)? {
+            SnapshotUpdate::Unchanged(snap) => {
+                self.record_update("unchanged", start, snap.version(), 0, 0);
+                Ok(UpdateOutcome::Unchanged {
+                    version: snap.version(),
+                })
+            }
+            SnapshotUpdate::Installed {
+                previous,
+                snapshot,
+                delta,
+            } => {
+                let (maintenance, idb) = self.maintain_view(&snapshot, previous, &delta);
+                if let Some(cache) = &self.cache {
+                    match &idb {
+                        Some(patch) => cache.advance(previous, snapshot.version(), patch),
+                        None => cache.retain_version(snapshot.version()),
+                    }
+                }
+                self.obs
+                    .counter("recurs_serve_snapshot_updates_total", &[], 1);
+                let (inserted, deleted) = (delta.inserted_count(), delta.deleted_count());
+                self.record_update(maintenance, start, snapshot.version(), inserted, deleted);
+                Ok(UpdateOutcome::Installed {
+                    snapshot,
+                    inserted,
+                    deleted,
+                    maintenance,
+                })
+            }
+        }
+    }
+
+    /// Patches (or lazily builds) the materialized view for a just-installed
+    /// snapshot. Returns the maintenance label and the exact IDB patch when
+    /// one exists (`None` after a cold fallback or a fresh build — the cache
+    /// cannot be carried then). Never fails: a substrate error degrades to
+    /// "no view" and the update stands.
+    fn maintain_view(
+        &self,
+        snapshot: &Snapshot,
+        previous: Version,
+        delta: &EdbDelta,
+    ) -> (&'static str, Option<IdbPatch>) {
+        let mut guard = self.view.write().unwrap_or_else(PoisonError::into_inner);
+        if let Some(mut vs) = guard.take() {
+            if vs.version == previous {
+                match vs.mat.apply(delta, &self.budget) {
+                    Ok(report) => {
+                        vs.version = snapshot.version();
+                        let label = report.path.label();
+                        *guard = Some(vs);
+                        return (label, report.idb);
+                    }
+                    Err(_) => return ("none", None),
+                }
+            }
+            // A stale view (generic edits interleaved) is rebuilt below.
+        }
+        match Materialization::saturate(
+            self.plans.recursion(),
+            snapshot.database(),
+            &self.budget,
+            &self.obs,
+        ) {
+            Ok(mat) => {
+                *guard = Some(ViewState {
+                    version: snapshot.version(),
+                    mat,
+                });
+                ("saturate", None)
+            }
+            Err(_) => ("none", None),
+        }
+    }
+
+    /// Feeds one applied update into the recorder: the per-result update
+    /// counter and latency histogram, and a `serve.update` event.
+    fn record_update(
+        &self,
+        result: &'static str,
+        start: Instant,
+        version: Version,
+        inserted: usize,
+        deleted: usize,
+    ) {
+        if !self.obs.enabled() {
+            return;
+        }
+        let elapsed = start.elapsed();
+        self.obs
+            .counter("recurs_serve_updates_total", &[("result", result)], 1);
+        self.obs.observe(
+            "recurs_serve_update_seconds",
+            &[("result", result)],
+            elapsed.as_secs_f64(),
+        );
+        self.obs.event(
+            "serve.update",
+            &[
+                ("result", field::s(result)),
+                ("version", field::u(version.get())),
+                ("inserted", field::uz(inserted)),
+                ("deleted", field::uz(deleted)),
+                ("eval_us", field::us(elapsed)),
+            ],
+        );
     }
 
     /// Answers a query under the service's default budget.
@@ -192,7 +369,7 @@ impl QueryService {
                     answers: answers.len(),
                     tuples_derived: 0,
                     fixpoint_iterations: 0,
-                    snapshot_version: snapshot.version(),
+                    snapshot_version: snapshot.version().get(),
                 };
                 self.record_query(&stats);
                 return Ok(Reply {
@@ -203,17 +380,37 @@ impl QueryService {
             }
         }
 
-        let point = self
-            .plans
-            .answer(snapshot.database(), query, budget, self.mode, &self.obs)
-            .inspect_err(|_| {
-                self.obs.counter("recurs_serve_query_errors_total", &[], 1);
-            })?;
-        let answers = Arc::new(point.answers);
+        // The maintained view answers with a plain select/project — no
+        // evaluation at all — whenever its version matches the snapshot.
+        let view_answers = self.view_answers(&snapshot, query)?;
+        let (answers, outcome, kernel, tuples_derived, fixpoint_iterations) = match view_answers {
+            Some(answers) => (
+                Arc::new(answers),
+                Outcome::Complete,
+                PointKernelKind::MaterializedView,
+                0,
+                0,
+            ),
+            None => {
+                let point = self
+                    .plans
+                    .answer(snapshot.database(), query, budget, self.mode, &self.obs)
+                    .inspect_err(|_| {
+                        self.obs.counter("recurs_serve_query_errors_total", &[], 1);
+                    })?;
+                (
+                    Arc::new(point.answers),
+                    point.outcome,
+                    point.kernel,
+                    point.tuples_derived,
+                    point.fixpoint_iterations,
+                )
+            }
+        };
         // Only complete answers are cacheable: a truncated answer depends on
         // the budget that truncated it.
-        if let (Some(cache), Some(key), true) = (&self.cache, key, point.outcome.is_complete()) {
-            cache.insert(key, answers.clone());
+        if let (Some(cache), Some(key), true) = (&self.cache, key, outcome.is_complete()) {
+            cache.insert(key, answers.clone(), QueryPattern::of(query));
         }
         let stats = ServeStats {
             queue_wait,
@@ -223,19 +420,41 @@ impl QueryService {
             } else {
                 CacheOutcome::Bypass
             },
-            kernel: point.kernel,
-            outcome: point.outcome,
+            kernel,
+            outcome,
             answers: answers.len(),
-            tuples_derived: point.tuples_derived,
-            fixpoint_iterations: point.fixpoint_iterations,
-            snapshot_version: snapshot.version(),
+            tuples_derived,
+            fixpoint_iterations,
+            snapshot_version: snapshot.version().get(),
         };
         self.record_query(&stats);
         Ok(Reply {
             answers,
-            outcome: point.outcome,
+            outcome,
             stats,
         })
+    }
+
+    /// Select/project over the maintained view, when it exists and is exact
+    /// for the query's snapshot (and the query is for the served predicate
+    /// at the right arity — anything else falls through to the kernels,
+    /// which own the error taxonomy).
+    fn view_answers(
+        &self,
+        snapshot: &Snapshot,
+        query: &Atom,
+    ) -> Result<Option<Relation>, ServeError> {
+        let lr = self.plans.recursion();
+        if query.predicate != lr.predicate || query.arity() != lr.recursive_rule.head.arity() {
+            return Ok(None);
+        }
+        let guard = self.view.read().unwrap_or_else(PoisonError::into_inner);
+        match &*guard {
+            Some(vs) if vs.version == snapshot.version() => {
+                Ok(Some(answer_query(vs.mat.database(), query)?))
+            }
+            _ => Ok(None),
+        }
     }
 
     /// Feeds one answered query into the recorder: the per-kernel latency
@@ -315,6 +534,7 @@ impl QueryService {
             kernel_bounded: m.counter_where(q, &[("kernel", "bounded")]),
             kernel_magic: m.counter_where(q, &[("kernel", "magic")]),
             kernel_saturate: m.counter_where(q, &[("kernel", "saturate")]),
+            kernel_materialized: m.counter_where(q, &[("kernel", "materialized")]),
             queue_wait_us: m.counter_value("recurs_serve_queue_wait_us_total", &[]),
             eval_us: m.counter_value("recurs_serve_eval_us_total", &[]),
             tuples_derived: m.counter_value("recurs_serve_tuples_derived_total", &[]),
@@ -323,8 +543,10 @@ impl QueryService {
                 .as_ref()
                 .map(SaturationCache::counters)
                 .unwrap_or_default(),
-            snapshot_version: snapshot.version(),
+            snapshot_version: snapshot.version().get(),
             snapshot_updates: m.counter_value("recurs_serve_snapshot_updates_total", &[]),
+            updates_unchanged: m
+                .counter_where("recurs_serve_updates_total", &[("result", "unchanged")]),
         }
     }
 
@@ -419,6 +641,181 @@ mod tests {
         assert_eq!(after.stats.cache, CacheOutcome::Miss);
         assert_eq!(after.stats.snapshot_version, 1);
         assert_eq!(after.answers.len(), before.answers.len() + 1);
+    }
+
+    #[test]
+    fn noop_update_reports_unchanged_without_version_bump() {
+        let service = tc_service(5, ServeConfig::default());
+        let q = parse_atom("P(1, y)").unwrap();
+        service.query(&q).unwrap();
+        assert!(service.cache_len() > 0);
+        let a = recurs_datalog::symbol::Symbol::intern("A");
+        let ops = vec![FactOp::Insert(a, tuple_u64([1, 2]))]; // already present
+        match service.apply_update(&ops).unwrap() {
+            UpdateOutcome::Unchanged { version } => assert_eq!(version, 0),
+            other => panic!("expected Unchanged, got {other:?}"),
+        }
+        // Same version, so the warm entry still hits.
+        assert_eq!(service.query(&q).unwrap().stats.cache, CacheOutcome::Hit);
+        let stats = service.stats();
+        assert_eq!(stats.snapshot_version, 0);
+        assert_eq!(stats.snapshot_updates, 0);
+        assert_eq!(stats.updates_unchanged, 1);
+    }
+
+    #[test]
+    fn apply_update_patches_view_and_cache_in_place() {
+        let service = tc_service(5, ServeConfig::default());
+        let a = recurs_datalog::symbol::Symbol::intern("A");
+        let e = recurs_datalog::symbol::Symbol::intern("E");
+        // First fact update builds the view cold (no patch to carry yet).
+        let ops = vec![
+            FactOp::Insert(a, tuple_u64([5, 6])),
+            FactOp::Insert(e, tuple_u64([5, 6])),
+        ];
+        match service.apply_update(&ops).unwrap() {
+            UpdateOutcome::Installed {
+                inserted,
+                deleted,
+                maintenance,
+                ..
+            } => {
+                assert_eq!((inserted, deleted), (2, 0));
+                assert_eq!(maintenance, "saturate");
+            }
+            other => panic!("expected Installed, got {other:?}"),
+        }
+        // Warm the cache at version 1, then update again: the entry must be
+        // patched across the version bump, not dropped.
+        let q = parse_atom("P(1, y)").unwrap();
+        let before = service.query(&q).unwrap();
+        assert_eq!(before.stats.cache, CacheOutcome::Miss);
+        let ops = vec![
+            FactOp::Insert(a, tuple_u64([6, 7])),
+            FactOp::Insert(e, tuple_u64([6, 7])),
+        ];
+        match service.apply_update(&ops).unwrap() {
+            UpdateOutcome::Installed { maintenance, .. } => assert_eq!(maintenance, "frontier"),
+            other => panic!("expected Installed, got {other:?}"),
+        }
+        let after = service.query(&q).unwrap();
+        assert_eq!(after.stats.cache, CacheOutcome::Hit, "entry was carried");
+        assert_eq!(after.stats.snapshot_version, 2);
+        assert_eq!(after.answers.len(), before.answers.len() + 1);
+        assert!(service.stats().cache.patched > 0);
+        // Deletion maintains too: drop the chain tail again.
+        let ops = vec![
+            FactOp::Delete(a, tuple_u64([6, 7])),
+            FactOp::Delete(e, tuple_u64([6, 7])),
+        ];
+        service.apply_update(&ops).unwrap();
+        let shrunk = service.query(&q).unwrap();
+        assert_eq!(shrunk.stats.cache, CacheOutcome::Hit);
+        assert_eq!(shrunk.answers.len(), before.answers.len());
+    }
+
+    #[test]
+    fn materialized_view_answers_fresh_queries_without_evaluation() {
+        let service = tc_service(6, ServeConfig::default());
+        let e = recurs_datalog::symbol::Symbol::intern("E");
+        service
+            .apply_update(&[FactOp::Insert(e, tuple_u64([1, 6]))])
+            .unwrap();
+        // Fresh query, cache miss, but the view is exact for this version.
+        let q = parse_atom("P(2, y)").unwrap();
+        let reply = service.query(&q).unwrap();
+        assert_eq!(reply.stats.cache, CacheOutcome::Miss);
+        assert_eq!(reply.stats.kernel, PointKernelKind::MaterializedView);
+        assert_eq!(reply.stats.tuples_derived, 0);
+        assert_eq!(reply.answers.len(), 4); // 3, 4, 5, 6
+        assert_eq!(service.stats().kernel_materialized, 1);
+        // And the answer was admitted to the cache like any complete answer.
+        assert_eq!(service.query(&q).unwrap().stats.cache, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn updates_to_the_derived_predicate_are_rejected() {
+        let service = tc_service(5, ServeConfig::default());
+        let p = recurs_datalog::symbol::Symbol::intern("P");
+        let err = service
+            .apply_update(&[FactOp::Insert(p, tuple_u64([1, 5]))])
+            .unwrap_err();
+        assert!(err.to_string().contains("derived"), "got {err}");
+        assert_eq!(service.stats().snapshot_version, 0);
+    }
+
+    #[test]
+    fn generic_update_still_invalidates_and_drops_the_view() {
+        let service = tc_service(5, ServeConfig::default());
+        let e = recurs_datalog::symbol::Symbol::intern("E");
+        service
+            .apply_update(&[FactOp::Insert(e, tuple_u64([1, 5]))])
+            .unwrap();
+        let q = parse_atom("P(1, y)").unwrap();
+        service.query(&q).unwrap();
+        assert!(service.cache_len() > 0);
+        // A closure edit is opaque: no patch, no view.
+        service
+            .update(|db| db.insert("E", tuple_u64([2, 5])).map(|_| ()))
+            .unwrap();
+        assert_eq!(service.cache_len(), 0);
+        let reply = service.query(&q).unwrap();
+        assert_ne!(reply.stats.kernel, PointKernelKind::MaterializedView);
+        // The next fact update rebuilds the view from the new snapshot.
+        match service
+            .apply_update(&[FactOp::Insert(e, tuple_u64([3, 5]))])
+            .unwrap()
+        {
+            UpdateOutcome::Installed { maintenance, .. } => assert_eq!(maintenance, "saturate"),
+            other => panic!("expected Installed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn update_events_pin_the_taxonomy() {
+        let capture = std::sync::Arc::new(recurs_obs::CaptureRecorder::new());
+        let service = tc_service(
+            5,
+            ServeConfig {
+                obs: recurs_obs::Obs::new(capture.clone()),
+                ..ServeConfig::default()
+            },
+        );
+        let a = recurs_datalog::symbol::Symbol::intern("A");
+        let e = recurs_datalog::symbol::Symbol::intern("E");
+        service
+            .apply_update(&[
+                FactOp::Insert(a, tuple_u64([5, 6])),
+                FactOp::Insert(e, tuple_u64([5, 6])),
+            ])
+            .unwrap();
+        service
+            .apply_update(&[FactOp::Delete(e, tuple_u64([5, 6]))])
+            .unwrap();
+        service
+            .apply_update(&[FactOp::Insert(a, tuple_u64([1, 2]))]) // no-op
+            .unwrap();
+        let updates = capture.events_of("serve.update");
+        assert_eq!(updates.len(), 3);
+        assert_eq!(updates[0].text("result"), Some("saturate"));
+        assert_eq!(updates[0].uint("version"), Some(1));
+        assert_eq!(updates[0].uint("inserted"), Some(2));
+        assert_eq!(updates[1].text("result"), Some("frontier"));
+        assert_eq!(updates[1].uint("deleted"), Some(1));
+        assert_eq!(updates[2].text("result"), Some("unchanged"));
+        assert_eq!(updates[2].uint("version"), Some(2));
+        // The counter taxonomy matches the events, and the maintenance layer
+        // reported its patch through the same recorder.
+        assert_eq!(
+            capture.counter_where("recurs_serve_updates_total", &[("result", "unchanged")]),
+            1
+        );
+        assert_eq!(
+            capture.counter_where("recurs_serve_updates_total", &[("result", "frontier")]),
+            1
+        );
+        assert_eq!(capture.events_of("ivm.patch").len(), 1);
+        assert_eq!(capture.events_of("ivm.saturate").len(), 1);
     }
 
     #[test]

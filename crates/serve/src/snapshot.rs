@@ -8,15 +8,17 @@
 //! In-flight queries are never torn: they observe exactly the version they
 //! loaded, no matter how many updates land while they run.
 
+use crate::version::Version;
 use recurs_datalog::database::Database;
 use recurs_datalog::error::DatalogError;
 use recurs_datalog::fingerprint::{self, Fingerprint};
+use recurs_ivm::{EdbDelta, FactOp};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 /// One immutable version of the served database.
 #[derive(Debug)]
 pub struct Snapshot {
-    version: u64,
+    version: Version,
     fingerprint: Fingerprint,
     db: Arc<Database>,
 }
@@ -24,7 +26,7 @@ pub struct Snapshot {
 impl Snapshot {
     /// The snapshot's version number; the initial database is version 0 and
     /// every installed update increments it by one.
-    pub fn version(&self) -> u64 {
+    pub fn version(&self) -> Version {
         self.version
     }
 
@@ -38,6 +40,25 @@ impl Snapshot {
     pub fn database(&self) -> &Database {
         &self.db
     }
+}
+
+/// What [`SnapshotStore::apply_delta`] did.
+#[derive(Debug)]
+pub enum SnapshotUpdate {
+    /// The operations were all no-ops (duplicate inserts, absent deletes, or
+    /// pairs that cancel): nothing was installed and the version did not
+    /// move. Carries the still-current snapshot.
+    Unchanged(Arc<Snapshot>),
+    /// A new snapshot version was installed.
+    Installed {
+        /// The version the delta was normalized against.
+        previous: Version,
+        /// The newly installed snapshot.
+        snapshot: Arc<Snapshot>,
+        /// The net EDB change from `previous` to the new snapshot — what
+        /// incremental maintenance consumes.
+        delta: EdbDelta,
+    },
 }
 
 /// The mutable cell holding the current snapshot.
@@ -58,7 +79,7 @@ impl SnapshotStore {
         let fingerprint = fingerprint::of_database(&db);
         SnapshotStore {
             current: RwLock::new(Arc::new(Snapshot {
-                version: 0,
+                version: Version::ZERO,
                 fingerprint,
                 db: Arc::new(db),
             })),
@@ -90,12 +111,41 @@ impl SnapshotStore {
         let mut db = (*base.db).clone();
         edit(&mut db)?;
         let next = Arc::new(Snapshot {
-            version: base.version + 1,
+            version: base.version.next(),
             fingerprint: fingerprint::of_database(&db),
             db: Arc::new(db),
         });
         *self.current.write().unwrap_or_else(PoisonError::into_inner) = next.clone();
         Ok(next)
+    }
+
+    /// Normalizes a group of fact operations against the current snapshot
+    /// (inside the writer lock, so the membership check and the install are
+    /// one atomic step) and installs the next version if — and only if — the
+    /// net delta is non-empty. Duplicate inserts and absent-fact deletes are
+    /// no-ops: an all-no-op group reports [`SnapshotUpdate::Unchanged`]
+    /// without bumping the version. The returned delta is exactly the EDB
+    /// difference between the two snapshots.
+    pub fn apply_delta(&self, ops: &[FactOp]) -> Result<SnapshotUpdate, DatalogError> {
+        let _writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let base = self.load();
+        let delta = EdbDelta::normalize(ops, &base.db)?;
+        if delta.is_empty() {
+            return Ok(SnapshotUpdate::Unchanged(base));
+        }
+        let mut db = (*base.db).clone();
+        delta.apply_to(&mut db)?;
+        let next = Arc::new(Snapshot {
+            version: base.version.next(),
+            fingerprint: fingerprint::of_database(&db),
+            db: Arc::new(db),
+        });
+        *self.current.write().unwrap_or_else(PoisonError::into_inner) = next.clone();
+        Ok(SnapshotUpdate::Installed {
+            previous: base.version,
+            snapshot: next,
+            delta,
+        })
     }
 }
 
@@ -140,6 +190,46 @@ mod tests {
         assert!(err.is_err());
         assert_eq!(s.load().version(), 0);
         assert_eq!(s.load().database().require("A").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn no_op_delta_does_not_bump_the_version() {
+        let s = store();
+        let a = recurs_datalog::symbol::Symbol::intern("A");
+        let ops = vec![
+            FactOp::Insert(a, tuple_u64([1, 2])), // already present
+            FactOp::Delete(a, tuple_u64([9, 9])), // absent
+        ];
+        match s.apply_delta(&ops).unwrap() {
+            SnapshotUpdate::Unchanged(snap) => assert_eq!(snap.version(), 0),
+            other => panic!("expected Unchanged, got {other:?}"),
+        }
+        assert_eq!(s.load().version(), 0);
+    }
+
+    #[test]
+    fn delta_install_carries_the_net_change() {
+        let s = store();
+        let a = recurs_datalog::symbol::Symbol::intern("A");
+        let ops = vec![
+            FactOp::Insert(a, tuple_u64([3, 4])),
+            FactOp::Delete(a, tuple_u64([1, 2])),
+            FactOp::Insert(a, tuple_u64([1, 2])), // cancels the delete
+        ];
+        match s.apply_delta(&ops).unwrap() {
+            SnapshotUpdate::Installed {
+                previous,
+                snapshot,
+                delta,
+            } => {
+                assert_eq!(previous, Version::ZERO);
+                assert_eq!(snapshot.version(), 1);
+                assert_eq!(delta.inserted_count(), 1);
+                assert_eq!(delta.deleted_count(), 0);
+                assert!(snapshot.database().require("A").unwrap().len() == 3);
+            }
+            other => panic!("expected Installed, got {other:?}"),
+        }
     }
 
     #[test]

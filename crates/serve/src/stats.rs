@@ -96,6 +96,8 @@ pub struct ServiceStats {
     pub kernel_magic: u64,
     /// Queries answered by full saturation.
     pub kernel_saturate: u64,
+    /// Queries answered from the maintained materialized view.
+    pub kernel_materialized: u64,
     /// Summed admission queue wait, microseconds.
     pub queue_wait_us: u64,
     /// Summed evaluation time, microseconds.
@@ -108,6 +110,8 @@ pub struct ServiceStats {
     pub snapshot_version: u64,
     /// Snapshots installed since the service started.
     pub snapshot_updates: u64,
+    /// Update groups whose net delta was empty (version not bumped).
+    pub updates_unchanged: u64,
 }
 
 impl serde::Serialize for ServiceStats {
@@ -123,6 +127,7 @@ impl serde::Serialize for ServiceStats {
                     ("bounded", self.kernel_bounded.to_value()),
                     ("magic", self.kernel_magic.to_value()),
                     ("saturate", self.kernel_saturate.to_value()),
+                    ("materialized", self.kernel_materialized.to_value()),
                 ]),
             ),
             ("queue_wait_us", self.queue_wait_us.to_value()),
@@ -131,6 +136,7 @@ impl serde::Serialize for ServiceStats {
             ("cache", self.cache.to_value()),
             ("snapshot_version", self.snapshot_version.to_value()),
             ("snapshot_updates", self.snapshot_updates.to_value()),
+            ("updates_unchanged", self.updates_unchanged.to_value()),
         ])
     }
 }
