@@ -18,6 +18,7 @@ echo "==> cargo clippy --features fault-inject (-D warnings)"
 cargo clippy -p recurs-engine --all-targets --features fault-inject --offline -- -D warnings
 cargo clippy -p recurs-ivm --all-targets --features fault-inject --offline -- -D warnings
 cargo clippy -p recurs-serve --all-targets --features fault-inject --offline -- -D warnings
+cargo clippy -p recurs-net --all-targets --features fault-inject --offline -- -D warnings
 
 echo "==> cargo test"
 cargo test --workspace --offline -q
@@ -29,6 +30,13 @@ echo "==> cargo test fault-injection suite"
 cargo test -p recurs-engine --features fault-inject --offline -q
 cargo test -p recurs-ivm --features fault-inject --offline -q
 cargo test -p recurs-serve --features fault-inject --offline -q
+
+# The recurs-net chaos suite: torn frames, stalled sockets, mid-request
+# disconnects, and worker panics during drain must never leak a panic out of
+# a connection handler, must answer every accepted request exactly once (or
+# close cleanly), and must leave the snapshot chain intact.
+echo "==> recurs-net chaos suite (--features fault-inject)"
+cargo test -p recurs-net --features fault-inject --offline -q
 
 # The observability spine is linted and tested in both feature shapes: the
 # default build (recorder + aggregator + Prometheus text only) and with the
@@ -45,11 +53,26 @@ echo "==> serve !metrics smoke test"
 cargo test -p recurs-cli --offline -q --test cli_process \
   serve_stdin_answers_metrics_with_parseable_prometheus_text
 
+# Network smoke lane, against spawned `recurs` processes: `serve --listen`
+# must answer !health/!metrics over framed TCP, a kill -TERM mid-run must
+# drain every in-flight pipelined request (exactly one reply each, in order,
+# then exit 0), and `serve --stdin` must honor the same SIGTERM contract.
+echo "==> serve --listen + SIGTERM drain smoke tests"
+cargo test -p recurs-cli --offline -q --test cli_process \
+  serve_listen_process_answers_health_queries_and_metrics_over_tcp
+cargo test -p recurs-cli --offline -q --test cli_process \
+  serve_listen_process_sigterm_mid_run_answers_every_in_flight_request
+cargo test -p recurs-cli --offline -q --test cli_process \
+  serve_stdin_sigterm_drains_with_exit_zero_while_stdin_stays_open
+
 # Benchmark regression tripwire: re-times the smallest engine_scaling sizes
 # and diffs against BENCH_engine.json (drift-corrected; fails above 25%),
-# and re-times single-fact maintenance on tc/800 against BENCH_ivm.json
+# re-times single-fact maintenance on tc/800 against BENCH_ivm.json
 # (same 25% tripwire on the patched rows, plus a hard >= 5x
-# patched-vs-cold speedup floor).
+# patched-vs-cold speedup floor), and replays the loadgen mixed workload
+# against an in-process TCP server, gating the median-round p95 against
+# BENCH_load.json (25% drift-corrected tripwire) plus hard liveness checks
+# (no shedding at smoke QPS, no transport errors, a clean unforced drain).
 echo "==> bench_compare --quick"
 cargo run --release --offline -p recurs-bench --bin bench_compare -- --quick --samples 5
 

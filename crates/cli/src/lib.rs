@@ -129,12 +129,15 @@ pub enum Command {
         /// Also emit Graphviz DOT.
         dot: bool,
     },
-    /// `recurs serve <file> --stdin [service options]`
+    /// `recurs serve <file> (--stdin | --listen ADDR) [service options]
+    /// [network options]`
     Serve {
         /// Source file path (formula + initial facts).
         file: String,
         /// Service sizing and per-query budget.
         opts: ServiceOpts,
+        /// TCP front-end options; `None` serves the stdin line protocol.
+        net: Option<NetOpts>,
     },
     /// `recurs batch <file> [--repeat N] [--stats-json] [service options]`
     Batch {
@@ -181,6 +184,51 @@ impl Default for ServiceOpts {
             timeout_ms: None,
             max_tuples: None,
             max_iterations: None,
+        }
+    }
+}
+
+/// Options for `serve --listen`: how the TCP front end admits, times out,
+/// and drains connections. Defaults mirror [`recurs_net::NetConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetOpts {
+    /// Address to bind, e.g. `127.0.0.1:4004` (port 0 picks a free port).
+    pub listen: String,
+    /// Connection cap; further connections are shed.
+    pub max_connections: usize,
+    /// Idle/slow-client timeout in milliseconds.
+    pub idle_timeout_ms: u64,
+    /// Graceful-drain deadline in milliseconds; past it in-flight
+    /// evaluations are hard-cancelled (exit code 2).
+    pub drain_ms: u64,
+    /// Bound on the evaluation-slot queue wait per request, milliseconds.
+    pub max_queue_wait_ms: u64,
+    /// Backoff hint rendered into shed replies, milliseconds.
+    pub retry_after_ms: u64,
+}
+
+impl NetOpts {
+    /// Defaults for `--listen ADDR`.
+    pub fn for_addr(addr: &str) -> NetOpts {
+        NetOpts {
+            listen: addr.to_string(),
+            max_connections: 64,
+            idle_timeout_ms: 30_000,
+            drain_ms: 5_000,
+            max_queue_wait_ms: 250,
+            retry_after_ms: 50,
+        }
+    }
+
+    /// The [`recurs_net::NetConfig`] these options describe.
+    pub fn config(&self) -> recurs_net::NetConfig {
+        recurs_net::NetConfig {
+            max_connections: self.max_connections,
+            max_queue_wait: Duration::from_millis(self.max_queue_wait_ms),
+            retry_after_ms: self.retry_after_ms,
+            idle_timeout: Duration::from_millis(self.idle_timeout_ms),
+            drain_deadline: Duration::from_millis(self.drain_ms),
+            ..recurs_net::NetConfig::default()
         }
     }
 }
@@ -281,7 +329,23 @@ USAGE:
                                            (!metrics: Prometheus text ending
                                            with a # EOF line; a signed group is
                                            one atomic version; all-no-op groups
-                                           reply unchanged without a bump)
+                                           reply unchanged without a bump);
+                                           SIGTERM/Ctrl-C drains: the in-flight
+                                           request is answered, then exit 0
+                                           (2 if the drain deadline expires)
+    recurs serve <file> --listen ADDR      serve the same protocol over TCP:
+                                           length-framed requests and replies,
+                                           pipelining with ordered replies,
+                                           per-request deadlines (prefix a line
+                                           with @deadline=MS), load shedding
+                                           with a retry_after_ms hint, !health,
+                                           and graceful drain on SIGTERM/Ctrl-C
+                                           (exit 0 drained clean, 2 forced);
+                                           prints `listening on ADDR` once
+                                           bound (port 0 picks a free port)
+        network options: [--max-connections N] [--idle-timeout-ms T]
+                         [--drain-ms T] [--max-queue-wait-ms T]
+                         [--retry-after-ms T]
     recurs batch <file> [--repeat N]       answer the file's ?- queries through
                                            the query service (repeat to exercise
                                            the cache) [--stats-json: append the
@@ -442,25 +506,110 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         "serve" => {
             let file = it.next().ok_or("serve needs a file argument")?;
             let mut stdin = false;
+            let mut listen: Option<String> = None;
             let mut opts = ServiceOpts::default();
+            let mut max_connections = None;
+            let mut idle_timeout_ms = None;
+            let mut drain_ms = None;
+            let mut max_queue_wait_ms = None;
+            let mut retry_after_ms = None;
             let rest: Vec<&String> = it.collect();
             let mut i = 0;
             while i < rest.len() {
-                if rest[i] == "--stdin" {
-                    stdin = true;
-                    i += 1;
-                } else if let Some(next) = opts.consume(&rest, i)? {
-                    i = next;
-                } else {
-                    return Err(format!("unknown option `{}`", rest[i]));
+                match rest[i].as_str() {
+                    "--stdin" => {
+                        stdin = true;
+                        i += 1;
+                    }
+                    "--listen" => {
+                        let a = rest
+                            .get(i + 1)
+                            .ok_or("--listen needs an address such as 127.0.0.1:4004")?;
+                        listen = Some((*a).clone());
+                        i += 2;
+                    }
+                    flag @ ("--max-connections"
+                    | "--idle-timeout-ms"
+                    | "--drain-ms"
+                    | "--max-queue-wait-ms"
+                    | "--retry-after-ms") => {
+                        let n = rest
+                            .get(i + 1)
+                            .ok_or_else(|| format!("{flag} needs a number"))?;
+                        let n: u64 = n
+                            .parse()
+                            .map_err(|_| format!("invalid value `{n}` for {flag}"))?;
+                        match flag {
+                            "--max-connections" => {
+                                if n == 0 {
+                                    return Err("--max-connections must be at least 1".into());
+                                }
+                                max_connections = Some(n as usize);
+                            }
+                            "--idle-timeout-ms" => idle_timeout_ms = Some(n),
+                            "--drain-ms" => drain_ms = Some(n),
+                            "--max-queue-wait-ms" => max_queue_wait_ms = Some(n),
+                            _ => retry_after_ms = Some(n),
+                        }
+                        i += 2;
+                    }
+                    _ => {
+                        if let Some(next) = opts.consume(&rest, i)? {
+                            i = next;
+                        } else {
+                            return Err(format!("unknown option `{}`", rest[i]));
+                        }
+                    }
                 }
             }
-            if !stdin {
-                return Err("serve reads requests from standard input; pass --stdin".into());
-            }
+            let has_net_flags = max_connections.is_some()
+                || idle_timeout_ms.is_some()
+                || drain_ms.is_some()
+                || max_queue_wait_ms.is_some()
+                || retry_after_ms.is_some();
+            let net = match (stdin, listen) {
+                (true, Some(_)) => {
+                    return Err("pass exactly one of --stdin and --listen".into());
+                }
+                (false, None) => {
+                    return Err(
+                        "serve needs a transport: --stdin (line protocol over stdin/stdout) \
+                         or --listen ADDR (framed TCP)"
+                            .into(),
+                    );
+                }
+                (true, None) => {
+                    if has_net_flags {
+                        return Err("network options (--max-connections, --idle-timeout-ms, \
+                             --drain-ms, --max-queue-wait-ms, --retry-after-ms) require --listen"
+                            .into());
+                    }
+                    None
+                }
+                (false, Some(addr)) => {
+                    let mut n = NetOpts::for_addr(&addr);
+                    if let Some(v) = max_connections {
+                        n.max_connections = v;
+                    }
+                    if let Some(v) = idle_timeout_ms {
+                        n.idle_timeout_ms = v;
+                    }
+                    if let Some(v) = drain_ms {
+                        n.drain_ms = v;
+                    }
+                    if let Some(v) = max_queue_wait_ms {
+                        n.max_queue_wait_ms = v;
+                    }
+                    if let Some(v) = retry_after_ms {
+                        n.retry_after_ms = v;
+                    }
+                    Some(n)
+                }
+            };
             Ok(Command::Serve {
                 file: file.clone(),
                 opts,
+                net,
             })
         }
         "batch" => {
@@ -578,7 +727,21 @@ pub fn build_service(
     source: &str,
     opts: &ServiceOpts,
 ) -> Result<(recurs_serve::QueryService, Vec<Atom>), String> {
+    build_service_cancellable(source, opts, None)
+}
+
+/// Like [`build_service`], additionally wiring `cancel` into the per-query
+/// budget so a signal truncates in-flight evaluations cooperatively.
+pub fn build_service_cancellable(
+    source: &str,
+    opts: &ServiceOpts,
+    cancel: Option<CancelToken>,
+) -> Result<(recurs_serve::QueryService, Vec<Atom>), String> {
     let loaded = load(source)?;
+    let mut budget = opts.budget();
+    if let Some(token) = cancel {
+        budget = budget.with_cancel(token);
+    }
     let config = recurs_serve::ServeConfig {
         max_concurrent: opts.max_concurrent,
         cache_capacity: if opts.no_cache {
@@ -586,7 +749,7 @@ pub fn build_service(
         } else {
             opts.cache_capacity
         },
-        budget: opts.budget(),
+        budget,
         mode: if opts.threads > 1 {
             EngineMode::Parallel {
                 threads: opts.threads,
@@ -612,6 +775,130 @@ pub fn serve_on_source(
 ) -> Result<(), String> {
     let (service, _queries) = build_service(source, opts)?;
     recurs_serve::protocol::run_loop(&service, input, output).map_err(|e| format!("serve IO: {e}"))
+}
+
+/// Runs the `serve --stdin` line protocol like [`serve_on_source`], but
+/// drains gracefully when `cancel` fires (SIGTERM/Ctrl-C in the binary): the
+/// in-flight request's budget is cancelled so it truncates quickly and still
+/// gets its one reply, no further lines are started, and the process exits 0
+/// once idle — or 2 if `drain_deadline` expires with the request still
+/// running. A monitor thread calls `process::exit`, because the signal
+/// handler cannot interrupt a blocked stdin read (`signal(2)` installs with
+/// SA_RESTART semantics). Returns normally on EOF or `!quit`.
+pub fn serve_stdin_drained(
+    source: &str,
+    opts: &ServiceOpts,
+    cancel: CancelToken,
+    drain_deadline: Duration,
+    input: impl std::io::BufRead,
+    output: impl std::io::Write,
+) -> Result<(), String> {
+    serve_stdin_impl(
+        source,
+        opts,
+        cancel,
+        drain_deadline,
+        input,
+        output,
+        |code| std::process::exit(code),
+    )
+}
+
+/// [`serve_stdin_drained`] with the monitor's exit action injected, so tests
+/// can observe the drain verdict instead of dying with the process.
+fn serve_stdin_impl(
+    source: &str,
+    opts: &ServiceOpts,
+    cancel: CancelToken,
+    drain_deadline: Duration,
+    input: impl std::io::BufRead,
+    mut output: impl std::io::Write,
+    exit: impl Fn(i32) + Send + 'static,
+) -> Result<(), String> {
+    use recurs_serve::protocol::{handle_line, LineOutcome};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let (service, _queries) = build_service_cancellable(source, opts, Some(cancel.clone()))?;
+    let in_request = Arc::new(AtomicBool::new(false));
+    {
+        let cancel = cancel.clone();
+        let in_request = Arc::clone(&in_request);
+        std::thread::spawn(move || {
+            while !cancel.is_cancelled() {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            let deadline = std::time::Instant::now() + drain_deadline;
+            loop {
+                if !in_request.load(Ordering::SeqCst) {
+                    exit(0);
+                    return;
+                }
+                if std::time::Instant::now() >= deadline {
+                    exit(2);
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        });
+    }
+    for line in input.lines() {
+        let line = line.map_err(|e| format!("serve IO: {e}"))?;
+        if cancel.is_cancelled() {
+            // Drained at a line boundary; the monitor exits the process.
+            return Ok(());
+        }
+        in_request.store(true, Ordering::SeqCst);
+        let outcome = handle_line(&service, &line);
+        let finished = (|| -> std::io::Result<bool> {
+            match outcome {
+                LineOutcome::Reply(reply) => {
+                    writeln!(output, "{reply}")?;
+                    output.flush()?;
+                    Ok(false)
+                }
+                LineOutcome::Silent => Ok(false),
+                LineOutcome::Quit => Ok(true),
+            }
+        })()
+        .map_err(|e| format!("serve IO: {e}"))?;
+        in_request.store(false, Ordering::SeqCst);
+        if finished {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Serves the framed TCP protocol on `net.listen` until `cancel` fires, then
+/// drains gracefully: the listener stops accepting, in-flight requests are
+/// answered within the drain deadline, and past it evaluations are
+/// hard-cancelled (truncated replies, then close). Writes one
+/// `listening on ADDR` line to `output` (flushed) once the socket is bound,
+/// so scripts can discover an ephemeral port. The returned report's `forced`
+/// flag maps to exit code 2 in the binary.
+pub fn serve_listen_on_source(
+    source: &str,
+    opts: &ServiceOpts,
+    net: &NetOpts,
+    cancel: CancelToken,
+    mut output: impl std::io::Write,
+) -> Result<recurs_net::DrainReport, String> {
+    let (service, _queries) = build_service(source, opts)?;
+    let server = recurs_net::NetServer::bind(Arc::new(service), &net.listen, net.config())
+        .map_err(|e| format!("cannot listen on {}: {e}", net.listen))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| format!("local address: {e}"))?;
+    writeln!(output, "listening on {addr}").map_err(|e| format!("serve IO: {e}"))?;
+    output.flush().map_err(|e| format!("serve IO: {e}"))?;
+    let handle = server.handle();
+    std::thread::spawn(move || {
+        while !cancel.is_cancelled() {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        handle.drain();
+    });
+    server.run().map_err(|e| format!("serve IO: {e}"))
 }
 
 /// Prints one query's answer set under a `[label]` header.
@@ -878,8 +1165,8 @@ pub fn execute(
         }
         Command::Serve { .. } => {
             return Err(
-                "serve streams requests from standard input; run it from the recurs binary \
-                 with --stdin"
+                "serve streams requests from a transport; run it from the recurs binary \
+                 with --stdin or --listen"
                     .into(),
             );
         }
@@ -1409,6 +1696,7 @@ E(1, 2). E(2, 3). E(2, 4).
             Command::Serve {
                 file: "f.dl".into(),
                 opts: ServiceOpts::default(),
+                net: None,
             }
         );
         assert_eq!(
@@ -1431,11 +1719,22 @@ E(1, 2). E(2, 3). E(2, 4).
                     max_tuples: Some(9),
                     ..ServiceOpts::default()
                 },
+                net: None,
             }
         );
-        // serve is stdin-only for now; forgetting the flag is a usage error.
+        // serve needs exactly one transport.
         let err = parse_args(&args(&["serve", "f.dl"])).unwrap_err();
         assert!(err.contains("--stdin"), "{err}");
+        assert!(err.contains("--listen"), "{err}");
+        let err = parse_args(&args(&[
+            "serve",
+            "f.dl",
+            "--stdin",
+            "--listen",
+            "127.0.0.1:0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("exactly one"), "{err}");
         assert!(parse_args(&args(&["serve", "f.dl", "--stdin", "--threads", "0"])).is_err());
 
         assert_eq!(
@@ -1624,10 +1923,201 @@ E(1, 2). E(2, 3). E(2, 4).
             &Command::Serve {
                 file: String::new(),
                 opts: ServiceOpts::default(),
+                net: None,
             },
             TC,
         )
         .unwrap_err();
         assert!(err.contains("--stdin"), "{err}");
+    }
+
+    #[test]
+    fn parse_args_serve_listen() {
+        assert_eq!(
+            parse_args(&args(&["serve", "f.dl", "--listen", "127.0.0.1:0"])).unwrap(),
+            Command::Serve {
+                file: "f.dl".into(),
+                opts: ServiceOpts::default(),
+                net: Some(NetOpts::for_addr("127.0.0.1:0")),
+            }
+        );
+        // Network flags compose with service flags, in any order.
+        assert_eq!(
+            parse_args(&args(&[
+                "serve",
+                "f.dl",
+                "--max-connections",
+                "8",
+                "--listen",
+                "127.0.0.1:4004",
+                "--threads",
+                "2",
+                "--drain-ms",
+                "750",
+                "--max-queue-wait-ms",
+                "40",
+                "--retry-after-ms",
+                "15",
+                "--idle-timeout-ms",
+                "2000"
+            ]))
+            .unwrap(),
+            Command::Serve {
+                file: "f.dl".into(),
+                opts: ServiceOpts {
+                    threads: 2,
+                    ..ServiceOpts::default()
+                },
+                net: Some(NetOpts {
+                    listen: "127.0.0.1:4004".into(),
+                    max_connections: 8,
+                    idle_timeout_ms: 2000,
+                    drain_ms: 750,
+                    max_queue_wait_ms: 40,
+                    retry_after_ms: 15,
+                }),
+            }
+        );
+        // Network flags without --listen are a usage error.
+        let err = parse_args(&args(&[
+            "serve",
+            "f.dl",
+            "--stdin",
+            "--max-connections",
+            "8",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--listen"), "{err}");
+        assert!(parse_args(&args(&["serve", "f.dl", "--listen"])).is_err());
+        assert!(parse_args(&args(&[
+            "serve",
+            "f.dl",
+            "--listen",
+            "x",
+            "--max-connections",
+            "0"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&[
+            "serve",
+            "f.dl",
+            "--listen",
+            "x",
+            "--drain-ms",
+            "abc"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn net_opts_describe_a_net_config() {
+        let mut opts = NetOpts::for_addr("127.0.0.1:0");
+        opts.max_connections = 3;
+        opts.idle_timeout_ms = 1500;
+        opts.drain_ms = 900;
+        opts.max_queue_wait_ms = 35;
+        opts.retry_after_ms = 12;
+        let config = opts.config();
+        assert_eq!(config.max_connections, 3);
+        assert_eq!(config.idle_timeout, Duration::from_millis(1500));
+        assert_eq!(config.drain_deadline, Duration::from_millis(900));
+        assert_eq!(config.max_queue_wait, Duration::from_millis(35));
+        assert_eq!(config.retry_after_ms, 12);
+    }
+
+    #[test]
+    fn serve_listen_on_source_announces_drains_and_serves() {
+        use recurs_net::proto::json_str_field;
+
+        let cancel = CancelToken::new();
+        let (addr_tx, addr_rx) = std::sync::mpsc::channel::<String>();
+        let worker_cancel = cancel.clone();
+        let server = std::thread::spawn(move || {
+            // A writer that hands the announce line to the test thread.
+            struct Announce(std::sync::mpsc::Sender<String>, Vec<u8>);
+            impl std::io::Write for Announce {
+                fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                    self.1.extend_from_slice(buf);
+                    Ok(buf.len())
+                }
+                fn flush(&mut self) -> std::io::Result<()> {
+                    let text = String::from_utf8_lossy(&self.1).to_string();
+                    let _ = self.0.send(text);
+                    Ok(())
+                }
+            }
+            let net = NetOpts::for_addr("127.0.0.1:0");
+            serve_listen_on_source(
+                TC,
+                &ServiceOpts::default(),
+                &net,
+                worker_cancel,
+                Announce(addr_tx, Vec::new()),
+            )
+        });
+        let line = addr_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("announce line");
+        let addr = line
+            .trim()
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("bad announce line: {line}"))
+            .to_string();
+        let mut client =
+            recurs_net::Client::connect(&addr, Duration::from_secs(5)).expect("connect");
+        let reply = client.roundtrip("?- P(1, y).").expect("query");
+        assert_eq!(json_str_field(&reply, "type"), Some("answers"), "{reply}");
+        // Fire the "signal": the watcher drains and run() returns a report.
+        cancel.cancel();
+        let report = server.join().expect("server thread").expect("serve ok");
+        assert!(!report.forced, "an idle server must drain cleanly");
+    }
+
+    #[test]
+    fn serve_stdin_drained_speaks_the_protocol_without_a_signal() {
+        let input = b"?- P(1, y).\n+A(4, 5).\n+E(4, 5).\n?- P(1, y).\n!quit\n" as &[u8];
+        let mut output = Vec::new();
+        serve_stdin_drained(
+            TC,
+            &ServiceOpts::default(),
+            CancelToken::new(),
+            Duration::from_secs(5),
+            input,
+            &mut output,
+        )
+        .unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "{text}");
+        assert!(lines[0].contains("\"count\":3"), "{text}");
+        assert!(lines[3].contains("\"count\":4"), "{text}");
+    }
+
+    #[test]
+    fn serve_stdin_drained_stops_reading_after_cancel_and_reports_a_clean_drain() {
+        // A pre-cancelled token: the loop must not start any request, and
+        // the idle monitor must report exit code 0 (clean drain).
+        let token = CancelToken::new();
+        token.cancel();
+        let input = b"?- P(1, y).\n" as &[u8];
+        let mut output = Vec::new();
+        let (code_tx, code_rx) = std::sync::mpsc::channel::<i32>();
+        serve_stdin_impl(
+            TC,
+            &ServiceOpts::default(),
+            token,
+            Duration::from_secs(5),
+            input,
+            &mut output,
+            move |code| {
+                let _ = code_tx.send(code);
+            },
+        )
+        .unwrap();
+        assert!(output.is_empty(), "no request may start after the drain");
+        let code = code_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("monitor verdict");
+        assert_eq!(code, 0, "an idle serve loop drains cleanly");
     }
 }

@@ -7,14 +7,15 @@
 use recurs_cli::{execute, parse_args, Command, USAGE};
 use recurs_datalog::govern::CancelToken;
 
-/// Installs a SIGINT handler that flips `token`, so a long saturation is
-/// stopped cooperatively (and reported as a truncated run) instead of the
-/// process being killed mid-write.
+/// Installs SIGINT and SIGTERM handlers that flip `token`, so a long
+/// saturation is stopped cooperatively (and reported as a truncated run) and
+/// a serve transport drains gracefully, instead of the process being killed
+/// mid-write.
 #[cfg(unix)]
-fn install_ctrl_c(token: CancelToken) {
+fn install_signal_handlers(token: CancelToken) {
     use std::sync::OnceLock;
     static TOKEN: OnceLock<CancelToken> = OnceLock::new();
-    extern "C" fn on_sigint(_signum: i32) {
+    extern "C" fn on_signal(_signum: i32) {
         // Only async-signal-safe work here: a single atomic store.
         if let Some(t) = TOKEN.get() {
             t.cancel();
@@ -25,14 +26,16 @@ fn install_ctrl_c(token: CancelToken) {
             fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
         }
         const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
         unsafe {
-            signal(SIGINT, on_sigint);
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
         }
     }
 }
 
 #[cfg(not(unix))]
-fn install_ctrl_c(_token: CancelToken) {}
+fn install_signal_handlers(_token: CancelToken) {}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -62,19 +65,55 @@ fn main() {
         println!("{USAGE}");
         return;
     }
-    if let Command::Serve { opts, .. } = &cmd {
-        // Streaming command: replies go out line by line, so it bypasses the
-        // buffered `execute` path.
-        let stdin = std::io::stdin();
-        let stdout = std::io::stdout();
-        if let Err(e) = recurs_cli::serve_on_source(&source, opts, stdin.lock(), stdout.lock()) {
-            eprintln!("error: {e}");
-            std::process::exit(1);
+    if let Command::Serve { opts, net, .. } = &cmd {
+        // Streaming command: replies go out frame by frame (or line by
+        // line), so it bypasses the buffered `execute` path. SIGTERM and
+        // Ctrl-C drain the transport gracefully.
+        let token = CancelToken::new();
+        install_signal_handlers(token.clone());
+        match net {
+            Some(net) => {
+                match recurs_cli::serve_listen_on_source(
+                    &source,
+                    opts,
+                    net,
+                    token,
+                    std::io::stdout(),
+                ) {
+                    Ok(report) => {
+                        if report.forced {
+                            // The drain deadline expired; in-flight work was
+                            // hard-cancelled (truncated, sound replies).
+                            std::process::exit(2);
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            None => {
+                let stdin = std::io::stdin();
+                let stdout = std::io::stdout();
+                let drain = std::time::Duration::from_secs(5);
+                if let Err(e) = recurs_cli::serve_stdin_drained(
+                    &source,
+                    opts,
+                    token,
+                    drain,
+                    stdin.lock(),
+                    stdout.lock(),
+                ) {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
         }
         return;
     }
     let token = CancelToken::new();
-    install_ctrl_c(token.clone());
+    install_signal_handlers(token.clone());
     match execute(&cmd, &source, Some(token)) {
         Ok(out) => {
             print!("{}", out.text);

@@ -352,6 +352,143 @@ fn metrics_flag_appends_parseable_prometheus_text() {
     );
 }
 
+fn sigterm(child: &std::process::Child) {
+    let status = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .unwrap_or_else(|e| panic!("cannot run kill: {e}"));
+    assert!(status.success(), "kill -TERM failed");
+}
+
+/// Spawns `recurs serve --listen 127.0.0.1:0 <extra>` and parses the
+/// announce line for the ephemeral address.
+fn spawn_serve_listen(extra: &[&str]) -> (std::process::Child, String) {
+    use std::io::BufRead as _;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_recurs"))
+        .args([
+            "serve",
+            &dataset("transitive_closure.dl"),
+            "--listen",
+            "127.0.0.1:0",
+        ])
+        .args(extra)
+        .stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap_or_else(|e| panic!("cannot spawn recurs serve --listen: {e}"));
+    let out = child
+        .stdout
+        .take()
+        .unwrap_or_else(|| panic!("no stdout pipe"));
+    let mut line = String::new();
+    std::io::BufReader::new(out)
+        .read_line(&mut line)
+        .unwrap_or_else(|e| panic!("read announce line: {e}"));
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("bad announce line: {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+#[test]
+fn serve_listen_process_answers_health_queries_and_metrics_over_tcp() {
+    use std::time::Duration;
+    let (mut child, addr) = spawn_serve_listen(&[]);
+    let mut client =
+        recurs_net::Client::connect(&addr, Duration::from_secs(5)).expect("connect to server");
+    let health = client.roundtrip("!health").expect("health");
+    assert!(health.contains("\"ok\":true"), "{health}");
+    assert!(health.contains("\"state\":\"accepting\""), "{health}");
+    let reply = client.roundtrip("?- P(1, y).").expect("query");
+    assert!(reply.contains("\"type\":\"answers\""), "{reply}");
+    let metrics = client.roundtrip("!metrics").expect("metrics");
+    let samples = check_prometheus_text(&metrics);
+    assert!(samples > 0, "{metrics}");
+    assert!(metrics.contains("recurs_net_requests_total"), "{metrics}");
+    assert!(metrics.contains("recurs_serve_queries_total"), "{metrics}");
+    drop(client);
+    sigterm(&child);
+    let status = child.wait().unwrap_or_else(|e| panic!("wait: {e}"));
+    assert_eq!(status.code(), Some(0), "an idle server drains cleanly");
+}
+
+#[test]
+fn serve_listen_process_sigterm_mid_run_answers_every_in_flight_request() {
+    use std::time::Duration;
+    let (mut child, addr) = spawn_serve_listen(&["--drain-ms", "5000"]);
+    let mut client =
+        recurs_net::Client::connect(&addr, Duration::from_secs(5)).expect("connect to server");
+    // Admission roundtrip first, so the drain cannot race the accept.
+    client.roundtrip("!health").expect("admitted");
+    const PIPELINED: u64 = 8;
+    for i in 1..=PIPELINED {
+        client
+            .send(&format!("?- P({i}, y)."))
+            .expect("pipelined send");
+    }
+    sigterm(&child);
+    // Zero lost in-flight responses: every accepted request is answered, in
+    // order, after the signal.
+    for i in 1..=PIPELINED {
+        let reply = client
+            .recv()
+            .unwrap_or_else(|e| panic!("lost in-flight reply {i}: {e:?}"));
+        assert!(reply.contains("\"ok\":true"), "{reply}");
+        assert!(reply.contains(&format!("P({i}, y)")), "{reply}");
+    }
+    // Then the drained server closes the connection cleanly.
+    assert!(client.recv().is_err(), "expected a close after the drain");
+    let status = child.wait().unwrap_or_else(|e| panic!("wait: {e}"));
+    assert_eq!(status.code(), Some(0), "a clean drain exits 0");
+}
+
+#[test]
+fn serve_stdin_sigterm_drains_with_exit_zero_while_stdin_stays_open() {
+    use std::io::{BufRead as _, Write as _};
+    let mut child = Command::new(env!("CARGO_BIN_EXE_recurs"))
+        .args(["serve", &dataset("transitive_closure.dl"), "--stdin"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap_or_else(|e| panic!("cannot spawn recurs serve: {e}"));
+    let mut stdin = child.stdin.take().unwrap_or_else(|| panic!("no stdin"));
+    stdin
+        .write_all(b"?- P(1, y).\n")
+        .unwrap_or_else(|e| panic!("write stdin: {e}"));
+    stdin.flush().unwrap_or_else(|e| panic!("flush stdin: {e}"));
+    let out = child.stdout.take().unwrap_or_else(|| panic!("no stdout"));
+    let mut reply = String::new();
+    std::io::BufReader::new(out)
+        .read_line(&mut reply)
+        .unwrap_or_else(|e| panic!("read reply: {e}"));
+    assert!(reply.contains("\"type\":\"answers\""), "{reply}");
+    // stdin stays open: the exit below is the drain, not an EOF return.
+    sigterm(&child);
+    let status = child.wait().unwrap_or_else(|e| panic!("wait: {e}"));
+    assert_eq!(
+        status.code(),
+        Some(0),
+        "SIGTERM drains the stdin loop to exit 0"
+    );
+    drop(stdin);
+}
+
+#[test]
+fn serve_listen_rejects_an_unbindable_address_with_exit_one() {
+    let out = recurs(&[
+        "serve",
+        &dataset("transitive_closure.dl"),
+        "--listen",
+        "256.0.0.1:0",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("cannot listen"), "{}", stderr(&out));
+}
+
 #[test]
 fn serve_stdin_answers_metrics_with_parseable_prometheus_text() {
     use std::io::Write as _;

@@ -39,6 +39,32 @@ impl Semaphore {
         *free -= 1;
         (Permit { semaphore: self }, start.elapsed())
     }
+
+    /// Waits at most `max_wait` for a slot. Returns the slot and the actual
+    /// queue time, or `None` once the wait bound expires — the caller sheds
+    /// the request instead of queueing unboundedly. The wait is strictly
+    /// bounded: no caller ever blocks longer than `max_wait` (plus scheduler
+    /// noise), which is the admission-fairness contract the network front
+    /// end's shed/retry loop relies on.
+    pub fn try_acquire_for(&self, max_wait: Duration) -> Option<(Permit<'_>, Duration)> {
+        let start = Instant::now();
+        let mut free = self.permits.lock().unwrap_or_else(PoisonError::into_inner);
+        while *free == 0 {
+            let remaining = max_wait.checked_sub(start.elapsed())?;
+            let (guard, timeout) = self
+                .available
+                .wait_timeout(free, remaining)
+                .unwrap_or_else(PoisonError::into_inner);
+            free = guard;
+            if timeout.timed_out() && *free == 0 {
+                return None;
+            }
+        }
+        *free -= 1;
+        // A wakeup consumed here cannot strand another waiter: permits are
+        // only handed out under the lock, and every release notifies.
+        Some((Permit { semaphore: self }, start.elapsed()))
+    }
 }
 
 /// An acquired slot; dropping it releases the slot and wakes one waiter.
@@ -85,6 +111,75 @@ mod tests {
             h.join().unwrap();
         }
         assert!(peak.load(Ordering::SeqCst) <= 2, "semaphore over-admitted");
+    }
+
+    #[test]
+    fn try_acquire_for_succeeds_immediately_when_free() {
+        let sem = Semaphore::new(1);
+        let (p, wait) = sem.try_acquire_for(Duration::from_millis(1)).unwrap();
+        assert!(wait < Duration::from_millis(50));
+        drop(p);
+    }
+
+    #[test]
+    fn try_acquire_for_times_out_with_a_bounded_wait() {
+        let sem = Semaphore::new(1);
+        let (_held, _) = sem.acquire();
+        let start = std::time::Instant::now();
+        assert!(sem.try_acquire_for(Duration::from_millis(30)).is_none());
+        let waited = start.elapsed();
+        assert!(waited >= Duration::from_millis(25), "returned early");
+        assert!(
+            waited < Duration::from_secs(2),
+            "wait must be bounded, took {waited:?}"
+        );
+    }
+
+    #[test]
+    fn try_acquire_for_picks_up_a_freed_permit() {
+        let sem = Arc::new(Semaphore::new(1));
+        let (held, _) = sem.acquire();
+        let sem2 = sem.clone();
+        let waiter = std::thread::spawn(move || {
+            sem2.try_acquire_for(Duration::from_secs(5))
+                .map(|(_p, wait)| wait)
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        drop(held);
+        let waited = waiter.join().unwrap().expect("waiter should get the slot");
+        assert!(waited >= Duration::from_millis(5), "waiter did not queue");
+        assert!(waited < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn saturated_semaphore_never_starves_a_bounded_waiter() {
+        // Admission fairness: with the semaphore permanently contended by
+        // short critical sections, every bounded acquire either gets a slot
+        // or returns within its bound — no waiter hangs past the ceiling.
+        let sem = Arc::new(Semaphore::new(2));
+        let mut handles = Vec::new();
+        for _ in 0..6 {
+            let sem = sem.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut max_wait = Duration::ZERO;
+                for _ in 0..25 {
+                    let start = std::time::Instant::now();
+                    if let Some((_p, _)) = sem.try_acquire_for(Duration::from_millis(200)) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    max_wait = max_wait.max(start.elapsed());
+                }
+                max_wait
+            }));
+        }
+        for h in handles {
+            let max_wait = h.join().unwrap();
+            // Bound + critical section + generous scheduler slack.
+            assert!(
+                max_wait < Duration::from_secs(2),
+                "a waiter was starved: {max_wait:?}"
+            );
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@ use recurs_datalog::error::DatalogError;
 use recurs_datalog::symbol::Symbol;
 use recurs_engine::EngineError;
 use std::fmt;
+use std::time::Duration;
 
 /// Why a query (or update) could not be answered. Budget exhaustion is
 /// *not* an error — governed runs report
@@ -25,6 +26,13 @@ pub enum ServeError {
     /// An update tried to insert or delete the recursive predicate's tuples
     /// directly; the materialized relation is derived, never stored.
     DerivedUpdate(Symbol),
+    /// Admission control shed the request: no evaluation slot freed up
+    /// within the caller's wait bound. The request was never evaluated and
+    /// is safe to retry (the network layer attaches a retry-after hint).
+    Overloaded {
+        /// How long the request waited before being shed.
+        waited: Duration,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -41,6 +49,13 @@ impl fmt::Display for ServeError {
             ServeError::DerivedUpdate(p) => {
                 write!(f, "relation {p} is derived and cannot be updated directly")
             }
+            ServeError::Overloaded { waited } => {
+                write!(
+                    f,
+                    "overloaded: no evaluation slot within {} ms, request shed",
+                    waited.as_millis()
+                )
+            }
         }
     }
 }
@@ -50,7 +65,9 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Datalog(e) => Some(e),
             ServeError::Engine(e) => Some(e),
-            ServeError::WrongPredicate { .. } | ServeError::DerivedUpdate(_) => None,
+            ServeError::WrongPredicate { .. }
+            | ServeError::DerivedUpdate(_)
+            | ServeError::Overloaded { .. } => None,
         }
     }
 }

@@ -23,7 +23,9 @@
 //! `"ok"` field; errors are `{"ok":false,"error":"..."}` and never kill the
 //! session.
 
+use crate::error::ServeError;
 use crate::service::{QueryService, Reply, UpdateOutcome};
+use recurs_datalog::govern::EvalBudget;
 use recurs_datalog::parser::parse_atom;
 use recurs_datalog::relation::Tuple;
 use recurs_datalog::symbol::Symbol;
@@ -31,6 +33,7 @@ use recurs_datalog::term::Term;
 use recurs_ivm::FactOp;
 use serde::{Serialize as _, Value};
 use std::io::{BufRead, Write};
+use std::time::Duration;
 
 /// Outcome of handling one protocol line.
 pub enum LineOutcome {
@@ -42,8 +45,46 @@ pub enum LineOutcome {
     Quit,
 }
 
-/// Handles one request line against the service.
+/// How a transport wants one request line evaluated. The stdin loop uses
+/// the defaults (service budget, unbounded admission); the TCP front end
+/// derives a per-request budget from the deadline and bounds the admission
+/// wait so overload sheds instead of queueing.
+#[derive(Debug, Clone, Default)]
+pub struct LineOptions {
+    /// Evaluate queries under this budget instead of the service default.
+    pub budget: Option<EvalBudget>,
+    /// Bound the admission wait; past it the query is shed with a typed
+    /// `overloaded` reply. `None` queues unboundedly (the stdin behavior).
+    pub max_queue_wait: Option<Duration>,
+    /// The client backoff hint rendered into shed replies, in milliseconds.
+    pub retry_after_ms: u64,
+}
+
+/// A typed protocol-level failure, rendered as a one-line JSON error reply.
+enum ProtoError {
+    /// A plain error message (`{"ok":false,"error":...}`).
+    Message(String),
+    /// Admission shed the request; the reply carries the retry-after hint.
+    Overloaded {
+        /// How long the request queued before being shed.
+        waited: Duration,
+    },
+}
+
+impl From<String> for ProtoError {
+    fn from(msg: String) -> ProtoError {
+        ProtoError::Message(msg)
+    }
+}
+
+/// Handles one request line against the service under the default
+/// [`LineOptions`] (service budget, unbounded admission).
 pub fn handle_line(service: &QueryService, line: &str) -> LineOutcome {
+    handle_line_with(service, line, &LineOptions::default())
+}
+
+/// Handles one request line under transport-supplied [`LineOptions`].
+pub fn handle_line_with(service: &QueryService, line: &str, opts: &LineOptions) -> LineOutcome {
     let line = line.trim();
     if line.is_empty() || line.starts_with('%') || line.starts_with('#') {
         return LineOutcome::Silent;
@@ -57,16 +98,32 @@ pub fn handle_line(service: &QueryService, line: &str) -> LineOutcome {
         // because the run loop appends one.
         return LineOutcome::Reply(service.metrics_text().trim_end().to_string());
     }
-    LineOutcome::Reply(match handle_request(service, line) {
+    LineOutcome::Reply(match handle_request(service, line, opts) {
         Ok(v) => serde::json::to_string(&v),
-        Err(e) => serde::json::to_string(&Value::object([
+        Err(ProtoError::Message(e)) => serde::json::to_string(&Value::object([
             ("ok", Value::Bool(false)),
             ("error", Value::string(e)),
+        ])),
+        Err(ProtoError::Overloaded { waited }) => serde::json::to_string(&Value::object([
+            ("ok", Value::Bool(false)),
+            ("type", Value::string("overloaded")),
+            (
+                "error",
+                Value::string(format!(
+                    "overloaded: no evaluation slot within {} ms, request shed",
+                    waited.as_millis()
+                )),
+            ),
+            ("retry_after_ms", opts.retry_after_ms.to_value()),
         ])),
     })
 }
 
-fn handle_request(service: &QueryService, line: &str) -> Result<Value, String> {
+fn handle_request(
+    service: &QueryService,
+    line: &str,
+    opts: &LineOptions,
+) -> Result<Value, ProtoError> {
     if line == "!stats" {
         return Ok(Value::object([
             ("ok", Value::Bool(true)),
@@ -88,15 +145,34 @@ fn handle_request(service: &QueryService, line: &str) -> Result<Value, String> {
         ]));
     }
     if line.starts_with('+') || line.starts_with('-') {
-        return apply_update_group(service, line);
+        return apply_update_group(service, line).map_err(ProtoError::from);
     }
     if line.starts_with('!') {
-        return Err(format!("unknown command: {line}"));
+        return Err(format!("unknown command: {line}").into());
     }
     let text = line.strip_prefix("?-").unwrap_or(line).trim();
     let text = text.strip_suffix('.').unwrap_or(text).trim();
     let query = parse_atom(text).map_err(|e| e.to_string())?;
-    let reply = service.query(&query).map_err(|e| e.to_string())?;
+    let result = match (&opts.budget, opts.max_queue_wait) {
+        (None, None) => service.query(&query),
+        (Some(budget), None) => service.query_with_budget(&query, budget),
+        (budget, Some(max_wait)) => {
+            let default;
+            let budget = match budget {
+                Some(b) => b,
+                None => {
+                    default = service.default_budget().clone();
+                    &default
+                }
+            };
+            service.query_bounded(&query, budget, max_wait)
+        }
+    };
+    let reply = match result {
+        Ok(reply) => reply,
+        Err(ServeError::Overloaded { waited }) => return Err(ProtoError::Overloaded { waited }),
+        Err(e) => return Err(e.to_string().into()),
+    };
     Ok(render_reply(text, &reply))
 }
 

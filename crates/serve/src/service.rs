@@ -1,6 +1,6 @@
 //! The long-lived query service: snapshots + kernels + cache + admission.
 
-use crate::admission::Semaphore;
+use crate::admission::{Permit, Semaphore};
 use crate::cache::{canonical_query_key, CacheKey, QueryPattern, SaturationCache};
 use crate::error::ServeError;
 use crate::kernel::{PointKernelKind, PointPlans};
@@ -343,7 +343,44 @@ impl QueryService {
         query: &Atom,
         budget: &EvalBudget,
     ) -> Result<Reply, ServeError> {
-        let (_permit, queue_wait) = self.admission.acquire();
+        let (permit, queue_wait) = self.admission.acquire();
+        self.query_admitted(query, budget, permit, queue_wait)
+    }
+
+    /// Answers a query like [`QueryService::query_with_budget`], but waits
+    /// at most `max_wait` for an evaluation slot. When no slot frees up in
+    /// time the request is *shed* with [`ServeError::Overloaded`] — it was
+    /// never evaluated and is safe to retry. This is the admission path the
+    /// network front end uses: queues stay bounded and overload turns into
+    /// an explicit, typed signal instead of unbounded latency.
+    pub fn query_bounded(
+        &self,
+        query: &Atom,
+        budget: &EvalBudget,
+        max_wait: std::time::Duration,
+    ) -> Result<Reply, ServeError> {
+        match self.admission.try_acquire_for(max_wait) {
+            Some((permit, queue_wait)) => self.query_admitted(query, budget, permit, queue_wait),
+            None => {
+                self.obs.counter("recurs_serve_queries_shed_total", &[], 1);
+                if self.obs.enabled() {
+                    self.obs
+                        .event("serve.shed", &[("max_wait_us", field::us(max_wait))]);
+                }
+                Err(ServeError::Overloaded { waited: max_wait })
+            }
+        }
+    }
+
+    /// The post-admission query path: cache probe, view/kernel dispatch,
+    /// caching, and stats. Holds `_permit` for the whole evaluation.
+    fn query_admitted(
+        &self,
+        query: &Atom,
+        budget: &EvalBudget,
+        _permit: Permit<'_>,
+        queue_wait: std::time::Duration,
+    ) -> Result<Reply, ServeError> {
         self.obs.observe(
             "recurs_serve_admission_wait_seconds",
             &[],
@@ -516,6 +553,22 @@ impl QueryService {
     /// Which kernel the dispatcher would select for a query.
     pub fn kernel_for(&self, query: &Atom) -> PointKernelKind {
         self.plans.select(query)
+    }
+
+    /// The service's observability handle: the fan-out feeding both the
+    /// service's own metric aggregator (behind [`QueryService::stats`] and
+    /// `!metrics`) and any external recorder from the config. Layers built
+    /// on top of the service (the TCP front end) record through this handle
+    /// so their counters land in the same exposition.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// The default per-query budget from the service config. Callers that
+    /// derive per-request budgets (e.g. deadline-scoped network requests)
+    /// start from this and tighten it.
+    pub fn default_budget(&self) -> &EvalBudget {
+        &self.budget
     }
 
     /// A point-in-time snapshot of the service-wide statistics, derived by

@@ -1,0 +1,200 @@
+//! Malformed-frame corpus: every byte sequence here is something a confused
+//! or hostile client could write to the TCP front end, and every one must
+//! come back as a typed error reply or a clean close — never a panic, never
+//! a hung connection, never a poisoned server. Companion to
+//! `malformed_inputs.rs`, one layer down the stack.
+
+use recurs_datalog::database::Database;
+use recurs_datalog::parser::parse_program;
+use recurs_datalog::validate::validate_with_generic_exit;
+use recurs_net::frame::{read_frame, write_frame, FrameError};
+use recurs_net::proto::json_str_field;
+use recurs_net::{Client, NetConfig, NetServer, ShutdownHandle};
+use recurs_serve::{QueryService, ServeConfig};
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Frames above this size are rejected in these tests (small, so the
+/// oversized cases don't need megabyte payloads).
+const MAX_FRAME: usize = 4096;
+
+fn tc_service() -> Arc<QueryService> {
+    let lr = validate_with_generic_exit(
+        &parse_program("P(x, y) :- A(x, z), P(z, y).\nP(x, y) :- E(x, y).").expect("parses"),
+    )
+    .expect("validates");
+    let mut db = Database::new();
+    db.insert_relation("A", recurs_workload::graphs::chain(16));
+    db.insert_relation("E", recurs_workload::graphs::chain(16));
+    Arc::new(QueryService::new(lr, db, ServeConfig::default()))
+}
+
+/// A running server plus its address; dropped via an explicit drain so a
+/// wedged connection handler fails the test instead of leaking.
+struct Server {
+    addr: String,
+    handle: ShutdownHandle,
+    join: std::thread::JoinHandle<std::io::Result<recurs_net::DrainReport>>,
+}
+
+fn spawn() -> Server {
+    let config = NetConfig {
+        max_frame_len: MAX_FRAME,
+        tick: Duration::from_millis(2),
+        drain_linger: Duration::from_millis(40),
+        ..NetConfig::default()
+    };
+    let server = NetServer::bind(tc_service(), "127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let (handle, join) = server.spawn();
+    Server { addr, handle, join }
+}
+
+impl Server {
+    /// Proves the server still answers real queries, then drains it and
+    /// asserts the drain was clean (no wedged handler, nothing forced).
+    fn assert_alive_and_shut_down(self) {
+        let mut probe = Client::connect(&self.addr, Duration::from_secs(5)).expect("probe connect");
+        let reply = probe.roundtrip("?- P(1, y).").expect("probe query");
+        assert_eq!(json_str_field(&reply, "type"), Some("answers"), "{reply}");
+        drop(probe);
+        self.handle.drain();
+        let report = self.join.join().expect("server thread").expect("run ok");
+        assert!(!report.forced, "malformed input must not wedge the drain");
+    }
+}
+
+/// A raw TCP connection with timeouts, so a server that stops responding
+/// fails the test quickly instead of hanging it.
+fn raw_connect(addr: &str) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    stream
+        .set_write_timeout(Some(Duration::from_secs(5)))
+        .expect("write timeout");
+    stream
+}
+
+fn reply_of(stream: &mut TcpStream) -> String {
+    let payload = read_frame(stream, MAX_FRAME).expect("a framed reply");
+    String::from_utf8(payload).expect("replies are UTF-8")
+}
+
+#[test]
+fn oversized_length_prefix_is_a_typed_reply_then_a_clean_close() {
+    let server = spawn();
+    let mut stream = raw_connect(&server.addr);
+    stream
+        .write_all(&((MAX_FRAME as u32) + 1).to_be_bytes())
+        .expect("prefix");
+    let reply = reply_of(&mut stream);
+    assert_eq!(json_str_field(&reply, "type"), Some("protocol"), "{reply}");
+    assert!(reply.contains("\"ok\":false"), "{reply}");
+    // The claimed length cannot be resynchronized: the server closes.
+    assert!(
+        matches!(read_frame(&mut stream, MAX_FRAME), Err(FrameError::Closed)),
+        "an oversized claim must close the connection"
+    );
+    server.assert_alive_and_shut_down();
+}
+
+#[test]
+fn http_garbage_reads_as_an_absurd_length_and_is_rejected() {
+    // "GET " as a big-endian length claims ~1.2 GB: typed reply, close.
+    let server = spawn();
+    let mut stream = raw_connect(&server.addr);
+    stream
+        .write_all(b"GET / HTTP/1.1\r\nHost: example\r\n\r\n")
+        .expect("write garbage");
+    let reply = reply_of(&mut stream);
+    assert_eq!(json_str_field(&reply, "type"), Some("protocol"), "{reply}");
+    assert!(
+        matches!(read_frame(&mut stream, MAX_FRAME), Err(FrameError::Closed)),
+        "garbage framing must close the connection"
+    );
+    server.assert_alive_and_shut_down();
+}
+
+#[test]
+fn truncated_frame_then_disconnect_leaves_the_server_healthy() {
+    let server = spawn();
+    {
+        let mut stream = raw_connect(&server.addr);
+        stream.write_all(&100u32.to_be_bytes()).expect("prefix");
+        stream.write_all(b"?- P(1, ").expect("partial payload");
+        stream.flush().expect("flush");
+        // Vanish mid-frame.
+    }
+    server.assert_alive_and_shut_down();
+}
+
+#[test]
+fn non_utf8_payload_is_a_typed_error_and_the_connection_survives() {
+    let server = spawn();
+    let mut stream = raw_connect(&server.addr);
+    write_frame(&mut stream, &[0xff, 0xfe, 0x00, 0x9c, 0x41]).expect("write frame");
+    let reply = reply_of(&mut stream);
+    assert_eq!(json_str_field(&reply, "type"), Some("protocol"), "{reply}");
+    assert!(reply.contains("\"ok\":false"), "{reply}");
+    // Frame boundaries are intact, so the same connection keeps working.
+    write_frame(&mut stream, b"?- P(1, y).").expect("write query");
+    let reply = reply_of(&mut stream);
+    assert_eq!(json_str_field(&reply, "type"), Some("answers"), "{reply}");
+    server.assert_alive_and_shut_down();
+}
+
+#[test]
+fn empty_frame_gets_exactly_one_reply_and_no_hang() {
+    let server = spawn();
+    let mut stream = raw_connect(&server.addr);
+    write_frame(&mut stream, b"").expect("write empty frame");
+    // The exactly-one-reply invariant holds even for a blank request.
+    let first = reply_of(&mut stream);
+    assert!(first.starts_with('{'), "{first}");
+    write_frame(&mut stream, b"?- P(1, y).").expect("write query");
+    let reply = reply_of(&mut stream);
+    assert_eq!(json_str_field(&reply, "type"), Some("answers"), "{reply}");
+    server.assert_alive_and_shut_down();
+}
+
+#[test]
+fn garbage_after_a_valid_frame_is_contained_to_that_connection() {
+    let server = spawn();
+    let mut stream = raw_connect(&server.addr);
+    write_frame(&mut stream, b"?- P(1, y).").expect("write query");
+    let reply = reply_of(&mut stream);
+    assert_eq!(json_str_field(&reply, "type"), Some("answers"), "{reply}");
+    // Interleave raw garbage where the next length prefix belongs.
+    stream
+        .write_all(&[0xde, 0xad, 0xbe, 0xef, 0x00, 0x01, 0x02])
+        .expect("write garbage");
+    let reply = reply_of(&mut stream);
+    assert_eq!(json_str_field(&reply, "type"), Some("protocol"), "{reply}");
+    assert!(
+        matches!(read_frame(&mut stream, MAX_FRAME), Err(FrameError::Closed)),
+        "desynchronized framing must close the connection"
+    );
+    server.assert_alive_and_shut_down();
+}
+
+#[test]
+fn a_burst_of_malformed_connections_does_not_exhaust_the_server() {
+    let server = spawn();
+    for round in 0..10 {
+        let mut stream = raw_connect(&server.addr);
+        match round % 3 {
+            0 => stream.write_all(&u32::MAX.to_be_bytes()).expect("write"),
+            1 => {
+                stream.write_all(&8u32.to_be_bytes()).expect("write");
+                stream.write_all(b"ab").expect("write"); // truncated
+            }
+            _ => write_frame(&mut stream, &[0x80, 0x81]).expect("write"),
+        }
+        // Drop without reading: the server must reap each connection.
+    }
+    server.assert_alive_and_shut_down();
+}
