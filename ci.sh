@@ -73,7 +73,21 @@ cargo test -p recurs-cli --offline -q --test cli_process \
 # against an in-process TCP server, gating the median-round p95 against
 # BENCH_load.json (25% drift-corrected tripwire) plus hard liveness checks
 # (no shedding at smoke QPS, no transport errors, a clean unforced drain).
-echo "==> bench_compare --quick"
-cargo run --release --offline -p recurs-bench --bin bench_compare -- --quick --samples 5
+# Trace well-formedness lane: a spawned `serve --stdin --trace FILE`
+# session over a real dataset must produce a JSON-lines trace that
+# `obsctl validate` accepts end to end — every line parses, every event
+# kind is in the taxonomy, sequence numbers are monotone, every span's
+# parent resolves, and no trace id is orphaned.
+echo "==> obsctl validate lane (serve --stdin --trace)"
+CI_TRACE="$(mktemp -t recurs-ci-trace-XXXXXX.jsonl)"
+printf '@trace=c0ffee ?- P(1, y).\n+A(6, 7). +E(6, 7).\n?- P(1, 6).\nwhy P(1, 6).\n!quit\n' | \
+  cargo run --release --offline -p recurs-cli --bin recurs -- \
+    serve datasets/transitive_closure.dl --stdin --trace "$CI_TRACE" > /dev/null
+cargo run --release --offline -p recurs-obs --bin obsctl -- validate "$CI_TRACE"
+rm -f "$CI_TRACE"
+
+echo "==> bench_compare --quick (+ no-op overhead re-audit)"
+cargo run --release --offline -p recurs-bench --bin bench_compare -- --quick --samples 5 \
+  --reaudit-obs BENCH_obs.json
 
 echo "==> OK"

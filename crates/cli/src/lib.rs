@@ -28,14 +28,16 @@ use recurs_datalog::adornment::QueryForm;
 use recurs_datalog::eval::{answer_query, semi_naive, semi_naive_governed_with};
 use recurs_datalog::fingerprint;
 use recurs_datalog::govern::{CancelToken, EvalBudget, Outcome};
-use recurs_datalog::parser::parse;
+use recurs_datalog::parser::{parse, parse_atom};
 use recurs_datalog::rule::LinearRecursion;
+use recurs_datalog::term::Term;
 use recurs_datalog::validate::validate_with_generic_exit;
 use recurs_datalog::{Atom, Database};
 use recurs_engine::{EngineConfig, EngineMode};
 use recurs_igraph::build::resolution_graph;
 use recurs_igraph::component::ComponentKind;
 use recurs_igraph::dot::{to_ascii, to_dot};
+use recurs_ivm::{explain_fact, render_tree, verify_tree, IvmError, WhyOutcome, DEFAULT_WHY_DEPTH};
 use recurs_obs::aggregate::Aggregator;
 use recurs_obs::trace::TraceWriter;
 use recurs_obs::{field, Obs, Value};
@@ -119,6 +121,11 @@ pub enum Command {
         /// Append the run's metrics in Prometheus text format
         /// (requires `--engine`).
         metrics: bool,
+        /// Explain a ground fact's derivation instead of answering the
+        /// file's queries (`--why "P(1, 3)"`).
+        why: Option<String>,
+        /// Recursion-depth bound for `--why` reconstruction.
+        why_depth: u64,
     },
     /// `recurs figure <file> [--levels k] [--dot]`
     Figure {
@@ -172,6 +179,8 @@ pub struct ServiceOpts {
     pub max_tuples: Option<usize>,
     /// Per-query iteration cap.
     pub max_iterations: Option<usize>,
+    /// Write the service's JSON-lines trace (spans, events) to this file.
+    pub trace: Option<String>,
 }
 
 impl Default for ServiceOpts {
@@ -184,6 +193,7 @@ impl Default for ServiceOpts {
             timeout_ms: None,
             max_tuples: None,
             max_iterations: None,
+            trace: None,
         }
     }
 }
@@ -205,6 +215,9 @@ pub struct NetOpts {
     pub max_queue_wait_ms: u64,
     /// Backoff hint rendered into shed replies, milliseconds.
     pub retry_after_ms: u64,
+    /// Dump the flight recorder's retained events to this file when a
+    /// worker panics or a drain is forced.
+    pub postmortem: Option<String>,
 }
 
 impl NetOpts {
@@ -217,6 +230,7 @@ impl NetOpts {
             drain_ms: 5_000,
             max_queue_wait_ms: 250,
             retry_after_ms: 50,
+            postmortem: None,
         }
     }
 
@@ -228,6 +242,7 @@ impl NetOpts {
             retry_after_ms: self.retry_after_ms,
             idle_timeout: Duration::from_millis(self.idle_timeout_ms),
             drain_deadline: Duration::from_millis(self.drain_ms),
+            postmortem: self.postmortem.as_ref().map(std::path::PathBuf::from),
             ..recurs_net::NetConfig::default()
         }
     }
@@ -279,6 +294,11 @@ impl ServiceOpts {
                 self.max_iterations = Some(parse_num("--max-iterations")?);
                 Ok(Some(i + 2))
             }
+            "--trace" => {
+                let p = rest.get(i + 1).ok_or("--trace needs a file path")?;
+                self.trace = Some((*p).clone());
+                Ok(Some(i + 2))
+            }
             _ => Ok(None),
         }
     }
@@ -320,12 +340,22 @@ USAGE:
                                            (with --engine)
                       [--metrics]          append the run's metrics in Prometheus
                                            text format (with --engine)
+                      [--why \"P(1, 3)\"]    print a verified derivation tree for
+                                           one ground fact of the recursive
+                                           predicate (or that it is not
+                                           derivable) instead of answering
+                                           queries; the budget flags govern the
+                                           provenance saturation
+                      [--why-depth N]      bound the --why reconstruction depth
 
     recurs serve <file> --stdin            serve queries over stdin/stdout: one
                                            request per line (?- P(1, y). / +A(1, 2).
                                            / -A(1, 2). / +A(3, 4) -E(2, 3). /
+                                           !explain P(1, y). / why P(1, 3). /
                                            !stats / !metrics / !snapshot /
-                                           !quit), one JSON reply per line
+                                           !quit; prefix @trace=<hex> to pick
+                                           the request's trace id), one JSON
+                                           reply per line
                                            (!metrics: Prometheus text ending
                                            with a # EOF line; a signed group is
                                            one atomic version; all-no-op groups
@@ -346,6 +376,9 @@ USAGE:
         network options: [--max-connections N] [--idle-timeout-ms T]
                          [--drain-ms T] [--max-queue-wait-ms T]
                          [--retry-after-ms T]
+                         [--postmortem FILE: dump the flight recorder's
+                          retained events to FILE on a worker panic or a
+                          forced drain, for `obsctl` postmortem reading]
     recurs batch <file> [--repeat N]       answer the file's ?- queries through
                                            the query service (repeat to exercise
                                            the cache) [--stats-json: append the
@@ -353,6 +386,9 @@ USAGE:
         serve/batch options: [--threads N] [--no-cache] [--cache-capacity N]
                              [--max-concurrent N] [--timeout-ms T]
                              [--max-tuples N] [--max-iterations K]
+                             [--trace FILE: write the service's JSON-lines
+                              trace — request spans, events — to FILE, for
+                              `obsctl validate|spans|slow`]
 
     recurs figure <file> [--levels K] [--dot]
                                            print I-graph / resolution graphs
@@ -411,6 +447,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut stats_json = false;
             let mut trace = None;
             let mut metrics = false;
+            let mut why = None;
+            let mut why_depth = None;
             let rest: Vec<&String> = it.collect();
             let mut i = 0;
             while i < rest.len() {
@@ -430,6 +468,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     "--trace" => {
                         let p = rest.get(i + 1).ok_or("--trace needs a file path")?;
                         trace = Some((*p).clone());
+                        i += 2;
+                    }
+                    "--why" => {
+                        let f = rest
+                            .get(i + 1)
+                            .ok_or("--why needs a ground fact such as \"P(1, 3)\"")?;
+                        why = Some((*f).clone());
+                        i += 2;
+                    }
+                    "--why-depth" => {
+                        let d = rest.get(i + 1).ok_or("--why-depth needs a number")?;
+                        why_depth = Some(d.parse().map_err(|_| format!("invalid depth `{d}`"))?);
                         i += 2;
                     }
                     "--engine" => {
@@ -471,12 +521,23 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     other => return Err(format!("unknown option `{other}`")),
                 }
             }
+            if why.is_some() && (engine.is_some() || check) {
+                return Err(
+                    "--why explains one fact's derivation; it does not combine with \
+                     --engine or --check"
+                        .into(),
+                );
+            }
+            if why_depth.is_some() && why.is_none() {
+                return Err("--why-depth bounds a --why reconstruction; pass --why too".into());
+            }
             if engine.is_none()
+                && why.is_none()
                 && (timeout_ms.is_some() || max_tuples.is_some() || max_iterations.is_some())
             {
                 return Err(
                     "--timeout-ms/--max-tuples/--max-iterations budget a saturation run; \
-                     pick one with --engine oracle|indexed|parallel"
+                     pick one with --engine oracle|indexed|parallel (or pass --why)"
                         .into(),
                 );
             }
@@ -501,6 +562,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 stats_json,
                 trace,
                 metrics,
+                why,
+                why_depth: why_depth.unwrap_or(DEFAULT_WHY_DEPTH),
             })
         }
         "serve" => {
@@ -513,6 +576,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut drain_ms = None;
             let mut max_queue_wait_ms = None;
             let mut retry_after_ms = None;
+            let mut postmortem = None;
             let rest: Vec<&String> = it.collect();
             let mut i = 0;
             while i < rest.len() {
@@ -526,6 +590,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             .get(i + 1)
                             .ok_or("--listen needs an address such as 127.0.0.1:4004")?;
                         listen = Some((*a).clone());
+                        i += 2;
+                    }
+                    "--postmortem" => {
+                        let p = rest.get(i + 1).ok_or("--postmortem needs a file path")?;
+                        postmortem = Some((*p).clone());
                         i += 2;
                     }
                     flag @ ("--max-connections"
@@ -566,7 +635,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 || idle_timeout_ms.is_some()
                 || drain_ms.is_some()
                 || max_queue_wait_ms.is_some()
-                || retry_after_ms.is_some();
+                || retry_after_ms.is_some()
+                || postmortem.is_some();
             let net = match (stdin, listen) {
                 (true, Some(_)) => {
                     return Err("pass exactly one of --stdin and --listen".into());
@@ -581,7 +651,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 (true, None) => {
                     if has_net_flags {
                         return Err("network options (--max-connections, --idle-timeout-ms, \
-                             --drain-ms, --max-queue-wait-ms, --retry-after-ms) require --listen"
+                             --drain-ms, --max-queue-wait-ms, --retry-after-ms, --postmortem) \
+                             require --listen"
                             .into());
                     }
                     None
@@ -603,6 +674,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     if let Some(v) = retry_after_ms {
                         n.retry_after_ms = v;
                     }
+                    n.postmortem = postmortem;
                     Some(n)
                 }
             };
@@ -742,6 +814,14 @@ pub fn build_service_cancellable(
     if let Some(token) = cancel {
         budget = budget.with_cancel(token);
     }
+    // A `--trace FILE` sink; the writer flushes on drop when the service
+    // (and its Obs handle) goes away.
+    let mut sinks: Vec<Arc<dyn recurs_obs::Recorder>> = Vec::new();
+    if let Some(path) = &opts.trace {
+        let writer = TraceWriter::to_file(path)
+            .map_err(|e| format!("cannot open trace file {path}: {e}"))?;
+        sinks.push(Arc::new(writer));
+    }
     let config = recurs_serve::ServeConfig {
         max_concurrent: opts.max_concurrent,
         cache_capacity: if opts.no_cache {
@@ -757,6 +837,7 @@ pub fn build_service_cancellable(
         } else {
             EngineMode::Indexed
         },
+        obs: Obs::fanout(sinks),
         ..recurs_serve::ServeConfig::default()
     };
     Ok((
@@ -988,9 +1069,25 @@ pub fn execute(
             stats_json,
             trace,
             metrics,
+            why,
+            why_depth,
             ..
         } => {
             let loaded = load(source)?;
+            if let Some(fact_text) = why {
+                let mut budget = EvalBudget::iteration_cap(*max_iterations);
+                if let Some(ms) = timeout_ms {
+                    budget = budget.with_timeout(Duration::from_millis(*ms));
+                }
+                if let Some(n) = max_tuples {
+                    budget = budget.with_max_tuples(*n);
+                }
+                if let Some(token) = cancel {
+                    budget = budget.with_cancel(token);
+                }
+                outcome = explain_why(&mut out, &loaded, fact_text, *why_depth, &budget)?;
+                return Ok(CmdOutput { text: out, outcome });
+            }
             if loaded.queries.is_empty() {
                 return Err("no ?- queries in the file".into());
             }
@@ -1246,6 +1343,91 @@ fn build_run_obs(
     Ok((Obs::fanout(sinks), trace_writer, metrics_agg))
 }
 
+/// Runs `run --why`: reconstructs (and structurally verifies) a derivation
+/// tree for one ground fact of the recursive predicate, or reports that the
+/// fact is not derivable. A budget truncation maps to the truncated exit
+/// code like any other governed run; a depth bound that is exceeded still
+/// reports the fact's rank so the caller knows what `--why-depth` to pass.
+fn explain_why(
+    out: &mut String,
+    loaded: &Loaded,
+    fact_text: &str,
+    depth_bound: u64,
+    budget: &EvalBudget,
+) -> Result<Outcome, String> {
+    let (pred, tuple) = parse_ground_fact(fact_text)?;
+    if pred != loaded.lr.predicate {
+        return Err(format!(
+            "--why explains {} facts; `{pred}` is not the recursive predicate",
+            loaded.lr.predicate
+        ));
+    }
+    let args: Vec<&str> = tuple.iter().map(|v| v.as_str()).collect();
+    let fact = format!("{pred}({})", args.join(", "));
+    match explain_fact(&loaded.lr, &loaded.db, &tuple, depth_bound, budget) {
+        Ok(WhyOutcome::Derived(tree)) => {
+            verify_tree(&loaded.lr, &loaded.db, &tree)
+                .map_err(|d| format!("derivation tree failed structural verification: {d}"))?;
+            let _ = writeln!(
+                out,
+                "{fact} is derived (depth {}, {} nodes):",
+                tree.depth(),
+                tree.size()
+            );
+            out.push_str(&render_tree(&tree));
+            Ok(Outcome::Complete)
+        }
+        Ok(WhyOutcome::NotDerived) => {
+            let _ = writeln!(out, "{fact} is not derivable from the file's facts");
+            Ok(Outcome::Complete)
+        }
+        Ok(WhyOutcome::DepthExceeded { rank, max_depth }) => {
+            let _ = writeln!(
+                out,
+                "{fact} is derived at rank {rank}, beyond --why-depth {max_depth}; \
+                 raise the bound to see the tree"
+            );
+            Ok(Outcome::Complete)
+        }
+        Err(IvmError::Truncated(reason)) => {
+            let _ = writeln!(
+                out,
+                "truncated: {reason} (the provenance saturation ran out of budget \
+                 before reaching {fact})"
+            );
+            Ok(Outcome::Truncated(reason))
+        }
+        Err(e) => Err(format!("why failed: {e}")),
+    }
+}
+
+/// Parses `P(1, 3)` (an optional trailing `.` is tolerated) into a
+/// predicate and a ground tuple.
+fn parse_ground_fact(
+    text: &str,
+) -> Result<
+    (
+        recurs_datalog::symbol::Symbol,
+        recurs_datalog::relation::Tuple,
+    ),
+    String,
+> {
+    let text = text.trim();
+    let text = text.strip_suffix('.').unwrap_or(text).trim();
+    let atom = parse_atom(text).map_err(|e| format!("bad fact `{text}`: {e}"))?;
+    let mut values = Vec::with_capacity(atom.terms.len());
+    for t in &atom.terms {
+        match t {
+            Term::Const(c) => values.push(*c),
+            Term::Var(v) => return Err(format!("fact {text} is not ground: variable {v}")),
+        }
+    }
+    Ok((
+        atom.predicate,
+        recurs_datalog::relation::Tuple::from(values.as_slice()),
+    ))
+}
+
 /// Emits the classification *explain* event: the formula's class verdict,
 /// each non-trivial I-graph component with its cycle weight and direction,
 /// the proven rank bound (when one exists), and the engine kernel the
@@ -1334,6 +1516,8 @@ E(1, 2). E(2, 3). E(2, 4).
                 stats_json: false,
                 trace: None,
                 metrics: false,
+                why: None,
+                why_depth: DEFAULT_WHY_DEPTH,
             }
         );
         assert_eq!(
@@ -1357,6 +1541,8 @@ E(1, 2). E(2, 3). E(2, 4).
                 stats_json: false,
                 trace: None,
                 metrics: false,
+                why: None,
+                why_depth: DEFAULT_WHY_DEPTH,
             }
         );
         assert!(parse_args(&args(&["run", "f.dl", "--engine", "warp"])).is_err());
@@ -1403,6 +1589,8 @@ E(1, 2). E(2, 3). E(2, 4).
                 stats_json: false,
                 trace: None,
                 metrics: false,
+                why: None,
+                why_depth: DEFAULT_WHY_DEPTH,
             }
         );
         // Budget flags without an engine are a usage error.
@@ -1410,6 +1598,128 @@ E(1, 2). E(2, 3). E(2, 4).
         assert!(err.contains("--engine"), "{err}");
         assert!(parse_args(&args(&["run", "f.dl", "--timeout-ms", "abc"])).is_err());
         assert!(parse_args(&args(&["run", "f.dl", "--max-tuples"])).is_err());
+    }
+
+    #[test]
+    fn parse_args_why_flags() {
+        assert_eq!(
+            parse_args(&args(&["run", "f.dl", "--why", "P(1, 3)"])).unwrap(),
+            Command::Run {
+                file: "f.dl".into(),
+                check: false,
+                engine: None,
+                threads: 2,
+                timeout_ms: None,
+                max_tuples: None,
+                max_iterations: None,
+                stats_json: false,
+                trace: None,
+                metrics: false,
+                why: Some("P(1, 3)".into()),
+                why_depth: DEFAULT_WHY_DEPTH,
+            }
+        );
+        // A depth bound and budget flags compose with --why (they govern the
+        // provenance saturation), without requiring an engine.
+        let cmd = parse_args(&args(&[
+            "run",
+            "f.dl",
+            "--why",
+            "P(1, 3)",
+            "--why-depth",
+            "7",
+            "--max-tuples",
+            "100",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Run {
+                why,
+                why_depth,
+                max_tuples,
+                ..
+            } => {
+                assert_eq!(why.as_deref(), Some("P(1, 3)"));
+                assert_eq!(why_depth, 7);
+                assert_eq!(max_tuples, Some(100));
+            }
+            other => panic!("expected run, got {other:?}"),
+        }
+        // --why excludes --engine/--check; --why-depth needs --why.
+        let err = parse_args(&args(&[
+            "run", "f.dl", "--why", "P(1)", "--engine", "indexed",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--why"), "{err}");
+        let err = parse_args(&args(&["run", "f.dl", "--why", "P(1)", "--check"])).unwrap_err();
+        assert!(err.contains("--why"), "{err}");
+        let err = parse_args(&args(&["run", "f.dl", "--why-depth", "3"])).unwrap_err();
+        assert!(err.contains("--why"), "{err}");
+        assert!(parse_args(&args(&["run", "f.dl", "--why"])).is_err());
+        assert!(parse_args(&args(&["run", "f.dl", "--why", "P(1)", "--why-depth", "x"])).is_err());
+    }
+
+    fn why_run(fact: &str, why_depth: u64, max_tuples: Option<usize>) -> Command {
+        Command::Run {
+            file: String::new(),
+            check: false,
+            engine: None,
+            threads: 2,
+            timeout_ms: None,
+            max_tuples,
+            max_iterations: None,
+            stats_json: false,
+            trace: None,
+            metrics: false,
+            why: Some(fact.into()),
+            why_depth,
+        }
+    }
+
+    #[test]
+    fn run_why_renders_a_verified_derivation_tree() {
+        let out = execute(&why_run("P(1, 4)", DEFAULT_WHY_DEPTH, None), TC, None).unwrap();
+        assert!(out.outcome.is_complete());
+        assert!(out.text.contains("P(1, 4) is derived"), "{}", out.text);
+        // The tree grounds out in EDB leaves and tags the rules used.
+        assert!(out.text.contains("[recursive rule]"), "{}", out.text);
+        assert!(out.text.contains("[edb]"), "{}", out.text);
+        assert!(out.text.contains("E(2, 4)"), "{}", out.text);
+
+        let out = execute(&why_run("P(4, 1)", DEFAULT_WHY_DEPTH, None), TC, None).unwrap();
+        assert!(out.outcome.is_complete());
+        assert!(
+            out.text.contains("P(4, 1) is not derivable"),
+            "{}",
+            out.text
+        );
+    }
+
+    #[test]
+    fn run_why_reports_rank_when_the_depth_bound_is_exceeded() {
+        // P(1, 4) needs one recursive step; a zero depth bound names the
+        // rank instead of rendering a tree.
+        let out = execute(&why_run("P(1, 4)", 0, None), TC, None).unwrap();
+        assert!(out.outcome.is_complete());
+        assert!(out.text.contains("beyond --why-depth 0"), "{}", out.text);
+        assert!(out.text.contains("rank 1"), "{}", out.text);
+    }
+
+    #[test]
+    fn run_why_maps_a_budget_truncation_to_the_truncated_outcome() {
+        let out = execute(&why_run("P(1, 4)", DEFAULT_WHY_DEPTH, Some(1)), TC, None).unwrap();
+        assert!(!out.outcome.is_complete(), "{}", out.text);
+        assert!(out.text.contains("truncated"), "{}", out.text);
+    }
+
+    #[test]
+    fn run_why_rejects_non_ground_and_foreign_facts() {
+        let err = execute(&why_run("P(x, y)", DEFAULT_WHY_DEPTH, None), TC, None).unwrap_err();
+        assert!(err.contains("not ground"), "{err}");
+        let err = execute(&why_run("Q(1, 2)", DEFAULT_WHY_DEPTH, None), TC, None).unwrap_err();
+        assert!(err.contains("recursive predicate"), "{err}");
+        let err = execute(&why_run("P(1", DEFAULT_WHY_DEPTH, None), TC, None).unwrap_err();
+        assert!(err.contains("bad fact"), "{err}");
     }
 
     fn budgeted_run(
@@ -1428,6 +1738,8 @@ E(1, 2). E(2, 3). E(2, 4).
             stats_json: false,
             trace: None,
             metrics: false,
+            why: None,
+            why_depth: DEFAULT_WHY_DEPTH,
         }
     }
 
@@ -1515,6 +1827,8 @@ E(1, 2). E(2, 3). E(2, 4).
                 stats_json: false,
                 trace: None,
                 metrics: false,
+                why: None,
+                why_depth: DEFAULT_WHY_DEPTH,
             },
             TC,
         )
@@ -1541,6 +1855,8 @@ E(1, 2). E(2, 3). E(2, 4).
                 stats_json: false,
                 trace: None,
                 metrics: false,
+                why: None,
+                why_depth: DEFAULT_WHY_DEPTH,
             },
             TC,
         )
@@ -1562,6 +1878,8 @@ E(1, 2). E(2, 3). E(2, 4).
                     stats_json: false,
                     trace: None,
                     metrics: false,
+                    why: None,
+                    why_depth: DEFAULT_WHY_DEPTH,
                 },
                 TC,
             )
@@ -1586,6 +1904,8 @@ E(1, 2). E(2, 3). E(2, 4).
                 stats_json: false,
                 trace: None,
                 metrics: false,
+                why: None,
+                why_depth: DEFAULT_WHY_DEPTH,
             },
             TC,
         )
@@ -1658,6 +1978,8 @@ E(1, 2). E(2, 3). E(2, 4).
                 stats_json: false,
                 trace: None,
                 metrics: false,
+                why: None,
+                why_depth: DEFAULT_WHY_DEPTH,
             },
             "P(x, y) :- A(x, z), P(z, y).\nP(x, y) :- E(x, y).",
         )
@@ -1682,6 +2004,8 @@ E(1, 2). E(2, 3). E(2, 4).
                 stats_json: false,
                 trace: None,
                 metrics: false,
+                why: None,
+                why_depth: DEFAULT_WHY_DEPTH,
             },
             src,
         )
@@ -1786,6 +2110,8 @@ E(1, 2). E(2, 3). E(2, 4).
                 stats_json: true,
                 trace: None,
                 metrics: false,
+                why: None,
+                why_depth: DEFAULT_WHY_DEPTH,
             }
         );
     }
@@ -1805,6 +2131,8 @@ E(1, 2). E(2, 3). E(2, 4).
                     stats_json: true,
                     trace: None,
                     metrics: false,
+                    why: None,
+                    why_depth: DEFAULT_WHY_DEPTH,
                 },
                 TC,
             )
@@ -1832,6 +2160,8 @@ E(1, 2). E(2, 3). E(2, 4).
                 stats_json: false,
                 trace: None,
                 metrics: false,
+                why: None,
+                why_depth: DEFAULT_WHY_DEPTH,
             },
             TC,
         )
@@ -1855,6 +2185,8 @@ E(1, 2). E(2, 3). E(2, 4).
                 stats_json: false,
                 trace: None,
                 metrics: false,
+                why: None,
+                why_depth: DEFAULT_WHY_DEPTH,
             },
             TC,
         )
@@ -1975,6 +2307,7 @@ E(1, 2). E(2, 3). E(2, 4).
                     drain_ms: 750,
                     max_queue_wait_ms: 40,
                     retry_after_ms: 15,
+                    postmortem: None,
                 }),
             }
         );
@@ -2017,12 +2350,88 @@ E(1, 2). E(2, 3). E(2, 4).
         opts.drain_ms = 900;
         opts.max_queue_wait_ms = 35;
         opts.retry_after_ms = 12;
+        opts.postmortem = Some("/tmp/pm.jsonl".into());
         let config = opts.config();
         assert_eq!(config.max_connections, 3);
         assert_eq!(config.idle_timeout, Duration::from_millis(1500));
         assert_eq!(config.drain_deadline, Duration::from_millis(900));
         assert_eq!(config.max_queue_wait, Duration::from_millis(35));
         assert_eq!(config.retry_after_ms, 12);
+        assert_eq!(
+            config.postmortem,
+            Some(std::path::PathBuf::from("/tmp/pm.jsonl"))
+        );
+    }
+
+    #[test]
+    fn parse_args_trace_and_postmortem() {
+        // `serve --stdin --trace FILE` is a service option.
+        assert_eq!(
+            parse_args(&args(&["serve", "f.dl", "--stdin", "--trace", "t.jsonl"])).unwrap(),
+            Command::Serve {
+                file: "f.dl".into(),
+                opts: ServiceOpts {
+                    trace: Some("t.jsonl".into()),
+                    ..ServiceOpts::default()
+                },
+                net: None,
+            }
+        );
+        // `--postmortem FILE` is a network option and lands in NetOpts.
+        match parse_args(&args(&[
+            "serve",
+            "f.dl",
+            "--listen",
+            "127.0.0.1:0",
+            "--postmortem",
+            "pm.jsonl",
+        ]))
+        .unwrap()
+        {
+            Command::Serve { net: Some(n), .. } => {
+                assert_eq!(n.postmortem.as_deref(), Some("pm.jsonl"));
+            }
+            other => panic!("expected serve --listen, got {other:?}"),
+        }
+        // ... and therefore requires --listen.
+        let err = parse_args(&args(&[
+            "serve",
+            "f.dl",
+            "--stdin",
+            "--postmortem",
+            "pm.jsonl",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--listen"), "{err}");
+        assert!(parse_args(&args(&["serve", "f.dl", "--stdin", "--trace"])).is_err());
+        assert!(parse_args(&args(&["serve", "f.dl", "--listen", "x", "--postmortem"])).is_err());
+    }
+
+    #[test]
+    fn serve_trace_file_records_request_spans() {
+        let dir = std::env::temp_dir().join("recurs_cli_lib_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("serve_trace_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let opts = ServiceOpts {
+            trace: Some(path.to_string_lossy().into_owned()),
+            ..ServiceOpts::default()
+        };
+        let input = b"?- P(1, y).\n!quit\n" as &[u8];
+        let mut output = Vec::new();
+        serve_on_source(TC, &opts, input, &mut output).unwrap();
+        let trace = std::fs::read_to_string(&path).unwrap();
+        assert!(!trace.trim().is_empty(), "trace file is empty");
+        let mut saw_span = false;
+        for line in trace.lines() {
+            let v = recurs_obs::jsonl::parse(line)
+                .unwrap_or_else(|e| panic!("bad trace line `{line}`: {e}"));
+            if matches!(v.get("kind"), Some(Value::Str(k)) if k == "span") {
+                saw_span = true;
+            }
+        }
+        assert!(saw_span, "no span events in {trace}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -21,6 +21,8 @@ fn run_cmd(check: bool, engine: Option<EngineChoice>) -> Command {
         stats_json: false,
         trace: None,
         metrics: false,
+        why: None,
+        why_depth: recurs_ivm::DEFAULT_WHY_DEPTH,
     }
 }
 

@@ -530,3 +530,70 @@ fn serve_stdin_answers_metrics_with_parseable_prometheus_text() {
         "{metrics}"
     );
 }
+
+#[test]
+fn run_why_prints_a_derivation_tree_from_the_shell() {
+    // P(1, 6) in the flight network: 1 -> 2 -> 5 -> 6.
+    let out = recurs(&["run", &dataset("transitive_closure.dl"), "--why", "P(1, 6)"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("P(1, 6) is derived"), "{text}");
+    assert!(text.contains("[recursive rule]"), "{text}");
+    assert!(text.contains("[edb]"), "{text}");
+
+    let out = recurs(&["run", &dataset("transitive_closure.dl"), "--why", "P(6, 1)"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("P(6, 1) is not derivable"),
+        "{}",
+        stdout(&out)
+    );
+
+    // A foreign predicate is a usage error (exit 1).
+    let out = recurs(&["run", &dataset("transitive_closure.dl"), "--why", "Q(1, 6)"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    assert!(
+        stderr(&out).contains("recursive predicate"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn serve_stdin_answers_explain_and_why_with_a_chosen_trace_id() {
+    use std::io::Write as _;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_recurs"))
+        .args(["serve", &dataset("transitive_closure.dl"), "--stdin"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap_or_else(|e| panic!("cannot spawn recurs serve: {e}"));
+    child
+        .stdin
+        .take()
+        .unwrap_or_else(|| panic!("no stdin"))
+        .write_all(b"@trace=c0ffee !explain P(1, y).\nwhy P(1, 6).\n!quit\n")
+        .unwrap_or_else(|e| panic!("write stdin: {e}"));
+    let out = child
+        .wait_with_output()
+        .unwrap_or_else(|e| panic!("wait: {e}"));
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let text = stdout(&out);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "{text}");
+    // The explain audit echoes the client-supplied trace id and carries the
+    // plan verdict, kernel choice, and span breakdown.
+    assert!(lines[0].contains("\"type\":\"explain\""), "{text}");
+    assert!(
+        lines[0].contains("\"trace\":\"0000000000c0ffee\""),
+        "{text}"
+    );
+    assert!(lines[0].contains("\"classification\""), "{text}");
+    assert!(lines[0].contains("\"kernel\""), "{text}");
+    assert!(lines[0].contains("\"spans\""), "{text}");
+    // The why reply carries a verified derivation tree.
+    assert!(lines[1].contains("\"type\":\"why\""), "{text}");
+    assert!(lines[1].contains("\"derived\":true"), "{text}");
+    assert!(lines[1].contains("\"tree\""), "{text}");
+}

@@ -137,6 +137,8 @@ fn live_stats_json_carries_the_pinned_keys() {
             stats_json: true,
             trace: None,
             metrics: false,
+            why: None,
+            why_depth: recurs_ivm::DEFAULT_WHY_DEPTH,
         },
         "P(x, y) :- E(x, y).\nP(x, y) :- A(x, z), P(z, y).\nA(1, 2).\nA(2, 3).\nE(1, 2).\nE(2, 3).\n?- P(1, y).",
     )

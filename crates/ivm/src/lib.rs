@@ -35,10 +35,14 @@ use recurs_core::Classification;
 pub mod delta;
 pub mod materialize;
 mod patch;
+pub mod provenance;
 
 pub use delta::{EdbDelta, FactOp, IdbPatch};
 pub use materialize::Materialization;
 pub use patch::{PatchReport, PatchStats};
+pub use provenance::{
+    explain_fact, render_tree, verify_tree, DerivationNode, WhyOutcome, DEFAULT_WHY_DEPTH,
+};
 
 use recurs_datalog::error::DatalogError;
 use recurs_datalog::govern::TruncationReason;

@@ -153,9 +153,16 @@ fn run_query(
     rng: &mut rand::rngs::SmallRng,
     key: u64,
 ) {
+    // Mint a client-side trace id and attach it to every attempt: the
+    // server tags its spans with it, so a straggler in the report can be
+    // looked up in the server-side trace by the same id.
+    let trace = recurs_obs::TraceId::mint();
     let line = match spec.deadline_ms {
-        Some(ms) => format!("@deadline={ms} ?- {}({key}, y).", spec.query_predicate),
-        None => format!("?- {}({key}, y).", spec.query_predicate),
+        Some(ms) => format!(
+            "@deadline={ms} @trace={trace} ?- {}({key}, y).",
+            spec.query_predicate
+        ),
+        None => format!("@trace={trace} ?- {}({key}, y).", spec.query_predicate),
     };
     let mut attempt = 0u32;
     loop {
@@ -172,6 +179,7 @@ fn run_query(
             ReplyKind::Ok => {
                 samples.ok += 1;
                 samples.latencies_ms.push(latency_ms);
+                samples.traces.push(trace.to_string());
                 return;
             }
             ReplyKind::Overloaded { retry_after_ms } => {
@@ -239,6 +247,9 @@ fn run_write_pair(
                     ReplyKind::Ok => {
                         samples.ok += 1;
                         samples.latencies_ms.push(latency_ms);
+                        // Untraced (writes carry no @trace): keep the
+                        // trace column index-aligned with latencies.
+                        samples.traces.push(String::new());
                     }
                     ReplyKind::Overloaded { .. } => samples.shed_replies += 1,
                     ReplyKind::Deadline => samples.deadline += 1,

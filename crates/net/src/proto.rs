@@ -1,10 +1,10 @@
 //! The framed request envelope and the net layer's typed replies.
 //!
 //! A frame payload is one line of the serve protocol, optionally prefixed
-//! with a deadline directive:
+//! with directives in any order:
 //!
 //! ```text
-//! @deadline=250 ?- P(1, y).
+//! @deadline=250 @trace=cafe ?- P(1, y).
 //! ```
 //!
 //! The deadline is milliseconds of wall clock the *client* grants the
@@ -13,6 +13,12 @@
 //! own default budget tightened, never loosened) and bounds the admission
 //! wait by it, so an expired request is answered with a typed `deadline`
 //! error instead of being evaluated late or silently dropped.
+//!
+//! The trace directive is a client-supplied request id (1–16 hex digits);
+//! the server tags every span and event of the request with it and echoes
+//! it in the reply, so a client can correlate its own logs with the
+//! server-side trace. Absent the directive the server mints an id.
+//! Duplicate or malformed directives are typed `protocol` errors.
 //!
 //! The net layer adds three reply shapes on top of the serve protocol:
 //!
@@ -25,38 +31,55 @@
 //!   `!health` probe, answered at the net layer so it works even while the
 //!   evaluation slots are saturated.
 
+use recurs_obs::TraceId;
 use serde::{Serialize as _, Value};
 use std::time::Duration;
 
-/// A parsed request envelope: the protocol line plus its optional deadline.
+/// A parsed request envelope: the protocol line plus its directives.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request<'a> {
-    /// The serve-protocol line (deadline directive stripped).
+    /// The serve-protocol line (directives stripped).
     pub line: &'a str,
     /// Client-granted wall-clock allowance, if any.
     pub deadline: Option<Duration>,
+    /// Client-supplied trace id, if any.
+    pub trace: Option<TraceId>,
 }
 
 /// Parses a frame payload into a [`Request`], validating UTF-8 and the
-/// deadline directive. Errors are human-readable fragments for a typed
+/// directive prefix (`@deadline=<ms>`, `@trace=<hex>`, in any order, each
+/// at most once). Errors are human-readable fragments for a typed
 /// `protocol` error reply.
 pub fn parse_request(payload: &[u8]) -> Result<Request<'_>, String> {
     let text = std::str::from_utf8(payload)
         .map_err(|e| format!("frame payload is not valid UTF-8 ({e})"))?;
-    let text = text.trim();
-    let Some(rest) = text.strip_prefix("@deadline=") else {
-        return Ok(Request {
-            line: text,
-            deadline: None,
-        });
-    };
-    let (ms, line) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
-    let ms: u64 = ms
-        .parse()
-        .map_err(|_| format!("bad deadline directive: @deadline={ms}"))?;
+    let mut line = text.trim();
+    let mut deadline = None;
+    let mut trace = None;
+    while let Some(rest) = line.strip_prefix('@') {
+        let (directive, tail) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
+        if let Some(ms) = directive.strip_prefix("deadline=") {
+            if deadline.is_some() {
+                return Err("duplicate @deadline directive".to_string());
+            }
+            let ms: u64 = ms
+                .parse()
+                .map_err(|_| format!("bad deadline directive: @deadline={ms}"))?;
+            deadline = Some(Duration::from_millis(ms));
+        } else if let Some(id) = directive.strip_prefix("trace=") {
+            if trace.is_some() {
+                return Err("duplicate @trace directive".to_string());
+            }
+            trace = Some(TraceId::parse(id).map_err(|e| format!("bad @trace directive: {e}"))?);
+        } else {
+            return Err(format!("unknown directive: @{directive}"));
+        }
+        line = tail.trim();
+    }
     Ok(Request {
-        line: line.trim(),
-        deadline: Some(Duration::from_millis(ms)),
+        line,
+        deadline,
+        trace,
     })
 }
 
@@ -137,10 +160,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn plain_line_has_no_deadline() {
+    fn plain_line_has_no_directives() {
         let r = parse_request(b"?- P(1, y).").unwrap();
         assert_eq!(r.line, "?- P(1, y).");
         assert_eq!(r.deadline, None);
+        assert_eq!(r.trace, None);
     }
 
     #[test]
@@ -148,6 +172,18 @@ mod tests {
         let r = parse_request(b"@deadline=250 ?- P(1, y).").unwrap();
         assert_eq!(r.line, "?- P(1, y).");
         assert_eq!(r.deadline, Some(Duration::from_millis(250)));
+    }
+
+    #[test]
+    fn directives_combine_in_any_order() {
+        let r = parse_request(b"@deadline=250 @trace=cafe ?- P(1, y).").unwrap();
+        assert_eq!(r.line, "?- P(1, y).");
+        assert_eq!(r.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(r.trace, Some(TraceId::from_u64(0xcafe)));
+        let r = parse_request(b"@trace=cafe @deadline=250 ?- P(1, y).").unwrap();
+        assert_eq!(r.line, "?- P(1, y).");
+        assert_eq!(r.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(r.trace, Some(TraceId::from_u64(0xcafe)));
     }
 
     #[test]
@@ -161,6 +197,18 @@ mod tests {
     fn bad_deadline_is_a_typed_parse_error() {
         let err = parse_request(b"@deadline=soon ?- P(1, y).").unwrap_err();
         assert!(err.contains("bad deadline directive"), "{err}");
+    }
+
+    #[test]
+    fn bad_duplicate_or_unknown_directives_are_typed_parse_errors() {
+        let err = parse_request(b"@trace=xyz ?- P(1, y).").unwrap_err();
+        assert!(err.contains("bad @trace directive"), "{err}");
+        let err = parse_request(b"@trace=1 @trace=2 ?- P(1, y).").unwrap_err();
+        assert!(err.contains("duplicate @trace directive"), "{err}");
+        let err = parse_request(b"@deadline=1 @deadline=2 ?- P(1, y).").unwrap_err();
+        assert!(err.contains("duplicate @deadline directive"), "{err}");
+        let err = parse_request(b"@speed=fast ?- P(1, y).").unwrap_err();
+        assert!(err.contains("unknown directive"), "{err}");
     }
 
     #[test]

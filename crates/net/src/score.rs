@@ -10,6 +10,10 @@ use std::time::Duration;
 pub struct Samples {
     /// Per-request wall latency in milliseconds, successful requests only.
     pub latencies_ms: Vec<f64>,
+    /// Trace id per latency sample, index-aligned with `latencies_ms`
+    /// (empty string for untraced requests, e.g. write pairs). Lets the
+    /// report name the exact server-side traces behind the p99 tail.
+    pub traces: Vec<String>,
     /// Requests answered `ok`.
     pub ok: u64,
     /// `overloaded` replies observed (each retry attempt counts).
@@ -30,6 +34,7 @@ impl Samples {
     /// Folds another worker's samples in.
     pub fn merge(&mut self, other: Samples) {
         self.latencies_ms.extend(other.latencies_ms);
+        self.traces.extend(other.traces);
         self.ok += other.ok;
         self.shed_replies += other.shed_replies;
         self.shed_final += other.shed_final;
@@ -68,8 +73,29 @@ pub struct LoadReport {
     /// `shed_replies / (completed + shed_replies)` — how often admission
     /// pushed back, counting every shed attempt.
     pub shed_rate: f64,
+    /// The slowest traced requests at or above the p99 latency (worst
+    /// first, capped at [`MAX_STRAGGLERS`]): `(trace_id, latency_ms)`.
+    /// Feed an id to `obsctl spans <trace-file>` to see where it stalled.
+    pub stragglers: Vec<(String, f64)>,
     /// The raw counters behind the rates.
     pub samples: Samples,
+}
+
+/// Cap on [`LoadReport::stragglers`].
+pub const MAX_STRAGGLERS: usize = 5;
+
+/// The traced samples at or above the `p99` cutoff, worst first, capped.
+fn straggler_traces(samples: &Samples, p99: f64) -> Vec<(String, f64)> {
+    let mut tail: Vec<(String, f64)> = samples
+        .traces
+        .iter()
+        .zip(&samples.latencies_ms)
+        .filter(|(trace, &lat)| !trace.is_empty() && lat >= p99)
+        .map(|(trace, &lat)| (trace.clone(), lat))
+        .collect();
+    tail.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    tail.truncate(MAX_STRAGGLERS);
+    tail
 }
 
 /// Nearest-rank percentile (q in 0..=100) over unsorted samples.
@@ -99,6 +125,7 @@ pub fn score(samples: Samples, target_qps: f64, elapsed: Duration) -> LoadReport
     } else {
         samples.latencies_ms.iter().sum::<f64>() / samples.latencies_ms.len() as f64
     };
+    let p99_ms = percentile(&samples.latencies_ms, 99.0);
     LoadReport {
         target_qps,
         achieved_qps,
@@ -110,9 +137,10 @@ pub fn score(samples: Samples, target_qps: f64, elapsed: Duration) -> LoadReport
         duration_s,
         p50_ms: percentile(&samples.latencies_ms, 50.0),
         p95_ms: percentile(&samples.latencies_ms, 95.0),
-        p99_ms: percentile(&samples.latencies_ms, 99.0),
+        p99_ms,
         mean_ms,
         shed_rate,
+        stragglers: straggler_traces(&samples, p99_ms),
         samples,
     }
 }
@@ -137,6 +165,20 @@ impl LoadReport {
             ("errors", self.samples.errors.to_value()),
             ("retries", self.samples.retries.to_value()),
             ("transport_errors", self.samples.transport_errors.to_value()),
+            (
+                "stragglers",
+                Value::Array(
+                    self.stragglers
+                        .iter()
+                        .map(|(trace, latency_ms)| {
+                            Value::object([
+                                ("trace", Value::string(trace.clone())),
+                                ("latency_ms", round3(*latency_ms)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -169,6 +211,7 @@ mod tests {
     fn score_computes_rates() {
         let samples = Samples {
             latencies_ms: vec![1.0, 2.0, 3.0, 4.0],
+            traces: vec![String::new(); 4],
             ok: 4,
             shed_replies: 4,
             shed_final: 2,
@@ -193,6 +236,40 @@ mod tests {
         assert!(json.contains("\"target_qps\":10"), "{json}");
         assert!(json.contains("\"shed_rate\":0"), "{json}");
         assert!(json.contains("\"p99_ms\":0"), "{json}");
+    }
+
+    #[test]
+    fn stragglers_name_the_p99_tail_worst_first() {
+        let n = 200;
+        let samples = Samples {
+            latencies_ms: (1..=n).map(f64::from).collect(),
+            // Every odd sample is traced; even ones (e.g. the 200ms worst)
+            // are untraced writes and must not appear.
+            traces: (1..=n)
+                .map(|i| {
+                    if i % 2 == 1 {
+                        format!("{i:016x}")
+                    } else {
+                        String::new()
+                    }
+                })
+                .collect(),
+            ok: n as u64,
+            ..Samples::default()
+        };
+        let report = score(samples, 100.0, Duration::from_secs(2));
+        assert_eq!(report.p99_ms, 198.0);
+        assert_eq!(report.stragglers.len(), 1, "{:?}", report.stragglers);
+        assert_eq!(report.stragglers[0], (format!("{:016x}", 199), 199.0));
+        let json = report.to_json();
+        assert!(
+            json.contains("\"stragglers\":[{\"trace\":\"00000000000000c7\""),
+            "{json}"
+        );
+        // An untraced run reports an empty straggler list, not a panic.
+        let report = score(Samples::default(), 10.0, Duration::from_secs(1));
+        assert!(report.stragglers.is_empty());
+        assert!(report.to_json().contains("\"stragglers\":[]"));
     }
 
     #[test]

@@ -71,6 +71,10 @@ pub struct NetConfig {
     pub drain_linger: Duration,
     /// Poll granularity for the accept loop and connection read loops.
     pub tick: Duration,
+    /// Where to dump the flight recorder when something goes wrong (a
+    /// handler or connection panic, or a forced drain). `None` disables
+    /// postmortem dumps; the in-memory recorder still runs.
+    pub postmortem: Option<std::path::PathBuf>,
 }
 
 impl Default for NetConfig {
@@ -85,6 +89,7 @@ impl Default for NetConfig {
             drain_deadline: Duration::from_secs(5),
             drain_linger: Duration::from_millis(100),
             tick: Duration::from_millis(10),
+            postmortem: None,
         }
     }
 }
@@ -157,6 +162,30 @@ impl Shared {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .map(|t| t.elapsed())
+    }
+
+    /// Dumps the service's flight recorder to the configured postmortem
+    /// file. Called on handler/connection panics and forced drains; a
+    /// no-op unless [`NetConfig::postmortem`] is set. The dump is a
+    /// point-in-time overwrite — the last incident wins, which is the one
+    /// an operator debugging a crash loop wants.
+    fn dump_postmortem(&self, cause: &'static str) {
+        let Some(path) = &self.config.postmortem else {
+            return;
+        };
+        let dump = self.service.postmortem_jsonl();
+        let outcome = match std::fs::write(path, dump.as_bytes()) {
+            Ok(()) => "written",
+            Err(_) => "write_failed",
+        };
+        self.service.obs().event(
+            "net.postmortem",
+            &[
+                ("cause", field::s(cause)),
+                ("outcome", field::s(outcome)),
+                ("bytes", field::uz(dump.len())),
+            ],
+        );
     }
 }
 
@@ -277,6 +306,9 @@ impl NetServer {
                 ],
             );
             shared.wait_idle_until(Instant::now() + shared.config.drain_deadline);
+            // A forced drain is an incident: capture what the server was
+            // doing in the moments leading up to it.
+            shared.dump_postmortem("forced_drain");
         }
         let remaining = shared.active_count();
         shared.service.obs().event(
@@ -310,8 +342,15 @@ impl NetServer {
 /// Admits or sheds one freshly accepted connection.
 fn admit(shared: &Arc<Shared>, mut stream: TcpStream) {
     let obs = shared.service.obs();
-    if shared.active_count() >= shared.config.max_connections {
+    let active = shared.active_count();
+    if active >= shared.config.max_connections {
         obs.counter("recurs_net_connections_total", &[("result", "shed")], 1);
+        if obs.enabled() {
+            obs.event(
+                "net.admission",
+                &[("result", field::s("shed")), ("active", field::uz(active))],
+            );
+        }
         let reply = proto::error_reply(
             "overloaded",
             "connection limit reached",
@@ -322,6 +361,15 @@ fn admit(shared: &Arc<Shared>, mut stream: TcpStream) {
         return; // dropped: shed
     }
     obs.counter("recurs_net_connections_total", &[("result", "accepted")], 1);
+    if obs.enabled() {
+        obs.event(
+            "net.admission",
+            &[
+                ("result", field::s("accepted")),
+                ("active", field::uz(active + 1)),
+            ],
+        );
+    }
     shared.connection_opened();
     let worker_shared = Arc::clone(shared);
     let spawned = std::thread::Builder::new()
@@ -339,6 +387,7 @@ fn admit(shared: &Arc<Shared>, mut stream: TcpStream) {
                     &[("result", "panicked")],
                     1,
                 );
+                shared.dump_postmortem("connection_panic");
             }
             shared.connection_closed();
         });
@@ -432,16 +481,30 @@ fn serve_connection(shared: &Shared, stream: &mut TcpStream) -> CloseReason {
                 }
             }
             Err(FrameError::Closed) => return CloseReason::PeerClosed,
-            Err(FrameError::Truncated) => return CloseReason::Torn,
+            Err(FrameError::Truncated) => {
+                frame_error(shared, "torn");
+                return CloseReason::Torn;
+            }
             Err(e @ FrameError::Oversized { .. }) => {
                 // The stream cannot be resynchronized after a bogus length
                 // claim: one typed reply, then close.
+                frame_error(shared, "oversized");
                 let reply = proto::error_reply("protocol", &e.to_string(), None);
                 let _ = write_reply(stream, &reply);
                 return CloseReason::ProtocolError;
             }
             Err(FrameError::Io(_)) => return CloseReason::IoError,
         }
+    }
+}
+
+/// Records one malformed/undecodable frame: counter plus a flight-recorder
+/// event naming the defect, so postmortems show what the peer sent.
+fn frame_error(shared: &Shared, reason: &'static str) {
+    let obs = shared.service.obs();
+    obs.counter("recurs_net_frame_errors_total", &[("reason", reason)], 1);
+    if obs.enabled() {
+        obs.event("net.frame_error", &[("reason", field::s(reason))]);
     }
 }
 
@@ -475,12 +538,20 @@ fn serve_frame(shared: &Shared, stream: &mut TcpStream, payload: &[u8]) -> Frame
             "deadline",
             None,
         ),
-        Evaluated::Protocol(msg) => (proto::error_reply("protocol", &msg, None), "error", None),
-        Evaluated::Internal => (
-            proto::error_reply("internal", "internal error: request handler panicked", None),
-            "internal",
-            None,
-        ),
+        Evaluated::Protocol(msg) => {
+            frame_error(shared, "malformed");
+            (proto::error_reply("protocol", &msg, None), "error", None)
+        }
+        Evaluated::Internal => {
+            // The handler panicked: the connection survives, but the flight
+            // recorder holds the lead-up — dump it while it is fresh.
+            shared.dump_postmortem("handler_panic");
+            (
+                proto::error_reply("internal", "internal error: request handler panicked", None),
+                "internal",
+                None,
+            )
+        }
         Evaluated::Health => {
             let reply = proto::health_reply(
                 shared.draining.load(Ordering::SeqCst),
@@ -527,7 +598,11 @@ enum Evaluated {
 }
 
 fn evaluate_frame(shared: &Shared, payload: &[u8], received: Instant) -> Evaluated {
-    let Request { line, deadline } = match proto::parse_request(payload) {
+    let Request {
+        line,
+        deadline,
+        trace,
+    } = match proto::parse_request(payload) {
         Ok(r) => r,
         Err(msg) => return Evaluated::Protocol(msg),
     };
@@ -559,6 +634,7 @@ fn evaluate_frame(shared: &Shared, payload: &[u8], received: Instant) -> Evaluat
         budget: Some(budget),
         max_queue_wait: Some(max_wait),
         retry_after_ms: shared.config.retry_after_ms,
+        trace,
     };
     let service = Arc::clone(&shared.service);
     // Per-request barrier: a panic in parsing/evaluation becomes a typed

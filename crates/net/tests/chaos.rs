@@ -166,8 +166,14 @@ fn mid_request_disconnects_leave_the_server_healthy() {
 #[test]
 fn worker_panic_during_drain_still_drains_cleanly() {
     let control = tc_service(N, ServeConfig::default());
+    let postmortem = std::env::temp_dir().join(format!(
+        "recurs-chaos-postmortem-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&postmortem);
     let config = NetConfig {
         drain_linger: Duration::from_millis(200),
+        postmortem: Some(postmortem.clone()),
         ..fast_config()
     };
     let (addr, handle, join) = spawn_server(tc_service(N, ServeConfig::default()), config);
@@ -193,6 +199,15 @@ fn worker_panic_during_drain_still_drains_cleanly() {
     let report = join.join().expect("server thread").expect("run ok");
     assert!(!report.forced, "an injected panic must not force the drain");
     assert_eq!(report.remaining_connections, 0);
+    // The handler panic dumped the flight recorder: a non-empty postmortem
+    // file whose every line is a well-formed trace event.
+    let dump = std::fs::read_to_string(&postmortem).expect("postmortem file written");
+    assert!(!dump.trim().is_empty(), "postmortem must not be empty");
+    for line in dump.lines() {
+        let v = recurs_obs::jsonl::parse(line).expect("postmortem line parses");
+        assert!(v.get("kind").is_some(), "{line}");
+    }
+    let _ = std::fs::remove_file(&postmortem);
 }
 
 #[test]

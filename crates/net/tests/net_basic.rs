@@ -314,3 +314,60 @@ fn draining_server_stops_accepting_new_connections() {
     let refused = recurs_net::Client::connect(&addr, Duration::from_millis(500));
     assert!(refused.is_err(), "connection after drain must be refused");
 }
+
+#[test]
+fn every_net_event_kind_is_registered_in_the_taxonomy() {
+    let capture = std::sync::Arc::new(recurs_obs::CaptureRecorder::new());
+    let service = tc_service(
+        8,
+        ServeConfig {
+            obs: recurs_obs::Obs::new(capture.clone()),
+            ..ServeConfig::default()
+        },
+    );
+    let config = NetConfig {
+        max_connections: 1,
+        ..fast_config()
+    };
+    let (addr, handle, join) = spawn_server(service, config);
+    let mut client = connect(&addr);
+    // Traced query (spans + serve.query), malformed directive (frame
+    // error), and a shed second connection (admission gate) — then drain.
+    let reply = client
+        .roundtrip("@trace=feedface ?- P(1, y).")
+        .expect("traced query");
+    assert_eq!(
+        json_str_field(&reply, "trace"),
+        Some("00000000feedface"),
+        "{reply}"
+    );
+    let reply = client.roundtrip("@trace=xyz ?- P(1, y).").expect("reply");
+    assert_eq!(json_str_field(&reply, "type"), Some("protocol"), "{reply}");
+    let shed = connect(&addr).roundtrip("!health");
+    assert!(shed.is_err() || shed.unwrap().contains("overloaded"));
+    drop(client);
+    handle.drain();
+    join.join().expect("server thread").expect("run ok");
+    // Everything the net layer (and the layers below it) emitted is a
+    // registered kind — the DESIGN table is generated from this registry,
+    // so an unregistered kind means drifting docs.
+    let kinds = capture.kinds();
+    for kind in &kinds {
+        assert!(
+            recurs_obs::taxonomy::is_known(kind),
+            "unregistered event kind {kind} (add it to recurs_obs::taxonomy::EVENTS)"
+        );
+    }
+    for expected in [
+        "net.admission",
+        "net.drain",
+        "net.frame_error",
+        "serve.query",
+        "span",
+    ] {
+        assert!(
+            kinds.iter().any(|k| k == expected),
+            "scenario should have emitted {expected}: got {kinds:?}"
+        );
+    }
+}

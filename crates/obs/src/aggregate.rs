@@ -13,10 +13,16 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
-/// Histogram bucket upper bounds for durations, in seconds: 1µs … 60s,
-/// roughly log-spaced. Values above the last bound land in the implicit
-/// `+Inf` bucket.
-pub const SECONDS_BOUNDS: &[f64] = &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0];
+/// Histogram bucket upper bounds for durations, in seconds: 1µs … 60s.
+/// Sub-decade points (2.5×/5×) cover the sub-millisecond range so
+/// microsecond-scale warm-cache hits spread across buckets instead of
+/// collapsing into one — percentile estimates for the serve hit path stay
+/// meaningful. Values above the last bound land in the implicit `+Inf`
+/// bucket.
+pub const SECONDS_BOUNDS: &[f64] = &[
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 0.1, 0.5,
+    1.0, 5.0, 10.0, 60.0,
+];
 
 /// A label set, sorted by key (the aggregation identity of a series).
 pub type LabelSet = Vec<(String, String)>;
@@ -249,6 +255,28 @@ mod tests {
                 assert!((h.sum - 120.0205).abs() < 1e-9);
                 assert_eq!(h.buckets.iter().sum::<u64>(), 3);
                 assert_eq!(h.buckets[h.bounds.len()], 1); // +Inf slot
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn microsecond_scale_hits_spread_across_sub_millisecond_buckets() {
+        // Warm-cache latencies (a few µs to a few hundred µs) must land in
+        // distinct buckets, not collapse into one — otherwise serve p50 on
+        // the hit path is meaningless.
+        let agg = Aggregator::new(1);
+        for v in [2e-6, 8e-6, 3e-5, 2e-4, 7e-4] {
+            agg.observe("hit", &[], v);
+        }
+        let snap = agg.snapshot();
+        match &snap[0].value {
+            MetricValue::Histogram(h) => {
+                let occupied = h.buckets.iter().filter(|c| **c > 0).count();
+                assert_eq!(occupied, 5, "each observation in its own bucket: {h:?}");
+                // And the sub-millisecond range alone offers enough
+                // resolution: at least 8 bounds at or below 1ms.
+                assert!(h.bounds.iter().filter(|b| **b <= 1e-3).count() >= 8);
             }
             other => panic!("expected histogram, got {other:?}"),
         }

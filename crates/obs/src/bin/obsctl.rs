@@ -1,0 +1,347 @@
+//! `obsctl` — read a JSON-lines trace (or flight-recorder postmortem),
+//! validate it, and reconstruct per-request span trees.
+//!
+//! ```text
+//! obsctl validate <trace.jsonl>          # CI lane: well-formedness gate
+//! obsctl spans <trace.jsonl>             # indented span trees per trace
+//! obsctl slow <trace.jsonl> [--top K]    # slowest requests + critical paths
+//! obsctl taxonomy                        # regenerate the DESIGN §4e table
+//! ```
+//!
+//! `validate` exits non-zero if any line fails to parse, any `kind` is
+//! unknown to the taxonomy, sequence numbers go backwards, a span's
+//! parent does not resolve within its trace, or a trace id is orphaned
+//! (tagged events but no spans).
+
+use recurs_obs::{jsonl, taxonomy, Value};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// One span record pulled out of the trace.
+#[derive(Debug, Clone)]
+struct SpanRec {
+    trace: String,
+    name: String,
+    id: u64,
+    parent: u64,
+    start_us: u64,
+    dur_us: u64,
+}
+
+/// Everything read from one trace file.
+#[derive(Debug, Default)]
+struct Trace {
+    /// (line number, parsed object) for every line.
+    lines: Vec<(usize, Value)>,
+    /// Span records in file order.
+    spans: Vec<SpanRec>,
+    /// Trace id -> number of tagged events (span or not).
+    tagged: BTreeMap<String, usize>,
+    /// Problems found while loading (line number, message).
+    problems: Vec<(usize, String)>,
+}
+
+fn uint(v: &Value, key: &str) -> Option<u64> {
+    match v.get(key) {
+        Some(Value::UInt(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+fn text<'a>(v: &'a Value, key: &str) -> Option<&'a str> {
+    match v.get(key) {
+        Some(Value::Str(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn load(path: &str) -> Result<Trace, String> {
+    let content = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut trace = Trace::default();
+    let mut last_seq: Option<u64> = None;
+    for (idx, line) in content.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = match jsonl::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                trace
+                    .problems
+                    .push((lineno, format!("unparseable line: {e}")));
+                continue;
+            }
+        };
+        let Some(kind) = text(&value, "kind").map(str::to_string) else {
+            trace
+                .problems
+                .push((lineno, "missing 'kind' field".to_string()));
+            continue;
+        };
+        match uint(&value, "seq") {
+            Some(seq) => {
+                if let Some(prev) = last_seq {
+                    if seq <= prev {
+                        trace
+                            .problems
+                            .push((lineno, format!("seq {seq} not after {prev}")));
+                    }
+                }
+                last_seq = Some(seq);
+            }
+            None => trace
+                .problems
+                .push((lineno, "missing 'seq' field".to_string())),
+        }
+        if !taxonomy::is_known(&kind) {
+            trace
+                .problems
+                .push((lineno, format!("unknown event kind '{kind}'")));
+        }
+        if let Some(id) = text(&value, "trace") {
+            *trace.tagged.entry(id.to_string()).or_insert(0) += 1;
+        }
+        if kind == "span" {
+            match (
+                text(&value, "trace"),
+                text(&value, "name"),
+                uint(&value, "span"),
+                uint(&value, "parent"),
+                uint(&value, "start_us"),
+                uint(&value, "dur_us"),
+            ) {
+                (Some(tid), Some(name), Some(id), Some(parent), Some(start), Some(dur))
+                    if id > 0 =>
+                {
+                    trace.spans.push(SpanRec {
+                        trace: tid.to_string(),
+                        name: name.to_string(),
+                        id,
+                        parent,
+                        start_us: start,
+                        dur_us: dur,
+                    });
+                }
+                _ => trace
+                    .problems
+                    .push((lineno, "span event missing required fields".to_string())),
+            }
+        }
+        trace.lines.push((lineno, value));
+    }
+    Ok(trace)
+}
+
+/// Span records grouped by trace id, each group sorted by start time.
+fn by_trace(spans: &[SpanRec]) -> BTreeMap<String, Vec<SpanRec>> {
+    let mut groups: BTreeMap<String, Vec<SpanRec>> = BTreeMap::new();
+    for s in spans {
+        groups.entry(s.trace.clone()).or_default().push(s.clone());
+    }
+    for group in groups.values_mut() {
+        group.sort_by_key(|s| (s.start_us, s.id));
+    }
+    groups
+}
+
+fn validate(path: &str) -> ExitCode {
+    let trace = match load(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obsctl: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut problems = trace.problems.clone();
+    let groups = by_trace(&trace.spans);
+    for (tid, spans) in &groups {
+        let ids: Vec<u64> = spans.iter().map(|s| s.id).collect();
+        for s in spans {
+            if s.parent != 0 && !ids.contains(&s.parent) {
+                problems.push((
+                    0,
+                    format!(
+                        "trace {tid}: span {} ('{}') has unresolved parent {}",
+                        s.id, s.name, s.parent
+                    ),
+                ));
+            }
+        }
+        if !spans.iter().any(|s| s.parent == 0) {
+            problems.push((0, format!("trace {tid}: no root span")));
+        }
+    }
+    for (tid, count) in &trace.tagged {
+        if !groups.contains_key(tid) {
+            problems.push((
+                0,
+                format!("trace {tid}: orphaned trace id ({count} tagged events, no spans)"),
+            ));
+        }
+    }
+    if problems.is_empty() {
+        println!(
+            "ok: {} events, {} spans across {} traces, all kinds known",
+            trace.lines.len(),
+            trace.spans.len(),
+            groups.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for (lineno, msg) in problems.iter().take(20) {
+            if *lineno > 0 {
+                eprintln!("{path}:{lineno}: {msg}");
+            } else {
+                eprintln!("{path}: {msg}");
+            }
+        }
+        eprintln!("obsctl: {} problem(s) in {path}", problems.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn print_tree(spans: &[SpanRec], parent: u64, depth: usize, out: &mut String) {
+    for s in spans.iter().filter(|s| s.parent == parent) {
+        out.push_str(&format!(
+            "{}{} {}us (start +{}us)\n",
+            "  ".repeat(depth + 1),
+            s.name,
+            s.dur_us,
+            s.start_us
+        ));
+        print_tree(spans, s.id, depth + 1, out);
+    }
+}
+
+fn spans_cmd(path: &str) -> ExitCode {
+    let trace = match load(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obsctl: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let groups = by_trace(&trace.spans);
+    if groups.is_empty() {
+        println!("no spans in {path}");
+        return ExitCode::SUCCESS;
+    }
+    for (tid, spans) in &groups {
+        let mut out = format!("trace {tid}\n");
+        print_tree(spans, 0, 0, &mut out);
+        print!("{out}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// The chain of maximum-duration children from a root: the critical path.
+fn critical_path(spans: &[SpanRec], root: &SpanRec) -> Vec<String> {
+    let mut path = vec![root.name.clone()];
+    let mut at = root.id;
+    loop {
+        let next = spans
+            .iter()
+            .filter(|s| s.parent == at)
+            .max_by_key(|s| s.dur_us);
+        match next {
+            Some(s) => {
+                path.push(s.name.clone());
+                at = s.id;
+            }
+            None => return path,
+        }
+    }
+}
+
+fn slow(path: &str, top: usize) -> ExitCode {
+    let trace = match load(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obsctl: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let groups = by_trace(&trace.spans);
+    let mut roots: Vec<(&String, &Vec<SpanRec>, &SpanRec)> = Vec::new();
+    for (tid, spans) in &groups {
+        for root in spans.iter().filter(|s| s.parent == 0) {
+            roots.push((tid, spans, root));
+        }
+    }
+    roots.sort_by_key(|r| std::cmp::Reverse(r.2.dur_us));
+    if roots.is_empty() {
+        println!("no root spans in {path}");
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "top {} of {} requests by root-span duration:",
+        top.min(roots.len()),
+        roots.len()
+    );
+    for (tid, spans, root) in roots.iter().take(top) {
+        println!("\ntrace {tid}: {} {}us", root.name, root.dur_us);
+        let mut children: Vec<&SpanRec> = spans.iter().filter(|s| s.parent == root.id).collect();
+        children.sort_by_key(|s| s.start_us);
+        let mut accounted = 0u64;
+        for c in &children {
+            let pct = if root.dur_us > 0 {
+                c.dur_us as f64 * 100.0 / root.dur_us as f64
+            } else {
+                0.0
+            };
+            accounted += c.dur_us;
+            println!("  {:<16} {:>8}us  {:>5.1}%", c.name, c.dur_us, pct);
+        }
+        if root.dur_us > accounted && !children.is_empty() {
+            println!("  {:<16} {:>8}us", "(unaccounted)", root.dur_us - accounted);
+        }
+        println!(
+            "  critical path: {}",
+            critical_path(spans, root).join(" > ")
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+const USAGE: &str = "usage:
+  obsctl validate <trace.jsonl>
+  obsctl spans <trace.jsonl>
+  obsctl slow <trace.jsonl> [--top K]
+  obsctl taxonomy";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("validate") if args.len() == 2 => validate(&args[1]),
+        Some("taxonomy") if args.len() == 1 => {
+            print!("{}", taxonomy::markdown_table());
+            ExitCode::SUCCESS
+        }
+        Some("spans") if args.len() == 2 => spans_cmd(&args[1]),
+        Some("slow") if args.len() >= 2 => {
+            let mut top = 5usize;
+            let mut i = 2;
+            while i < args.len() {
+                if args[i] == "--top" && i + 1 < args.len() {
+                    match args[i + 1].parse() {
+                        Ok(k) => top = k,
+                        Err(_) => {
+                            eprintln!("obsctl: --top wants a number, got '{}'", args[i + 1]);
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                    i += 2;
+                } else {
+                    eprintln!("obsctl: unknown argument '{}'", args[i]);
+                    return ExitCode::FAILURE;
+                }
+            }
+            slow(&args[1], top.max(1))
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -44,9 +44,16 @@ use std::time::Instant;
 pub use serde::Value;
 
 pub mod aggregate;
+pub mod context;
+pub mod flight;
+pub mod jsonl;
 pub mod prometheus;
+pub mod taxonomy;
 #[cfg(feature = "trace-json")]
 pub mod trace;
+
+pub use context::{SpanGuard, SpanId, TraceCtx, TraceId, TraceIdError, TRACE_ID_MAX_LEN};
+pub use flight::{FlightEvent, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 
 /// The sink interface: everything instrumented code can emit.
 ///

@@ -1,0 +1,29 @@
+//! Pins the generated event-taxonomy table in DESIGN §4e to the registry:
+//! the region between the `taxonomy:begin`/`taxonomy:end` markers must be
+//! byte-for-byte what `taxonomy::markdown_table()` renders today. On a
+//! mismatch, regenerate with `obsctl taxonomy` and paste the output
+//! between the markers.
+
+use recurs_obs::taxonomy;
+
+#[test]
+fn design_doc_table_matches_the_registry() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../DESIGN.md");
+    let doc = std::fs::read_to_string(path).expect("DESIGN.md readable");
+    let begin = "<!-- taxonomy:begin -->\n";
+    let end = "<!-- taxonomy:end -->";
+    let start = doc
+        .find(begin)
+        .expect("DESIGN.md must contain the taxonomy:begin marker")
+        + begin.len();
+    let stop = doc[start..]
+        .find(end)
+        .map(|i| start + i)
+        .expect("DESIGN.md must contain the taxonomy:end marker");
+    let embedded = &doc[start..stop];
+    assert_eq!(
+        embedded,
+        taxonomy::markdown_table(),
+        "DESIGN.md taxonomy table is stale; regenerate with `obsctl taxonomy`"
+    );
+}

@@ -11,6 +11,13 @@
 //!   version (one maintenance pass, one version bump). Duplicate inserts and
 //!   absent deletes are no-ops: an all-no-op group replies
 //!   `{"type":"unchanged",...}` without bumping the version;
+//! * `!explain P(c, X)` — answer the query *and* audit the plan: the reply
+//!   carries the classification verdict (with I-graph cycle weights), the
+//!   kernel choice and why, cache participation, budget headroom, and the
+//!   request's span breakdown;
+//! * `why P(1, 3)` — derivation provenance for a ground fact: a
+//!   depth-bounded backward reconstruction of a derivation tree (or
+//!   `"derived":false`), structurally verified before it is returned;
 //! * `!stats` — dump the service-wide statistics;
 //! * `!metrics` — dump the service metrics in Prometheus text exposition
 //!   format (the one multi-line reply; its `# EOF` terminator line is the
@@ -18,6 +25,10 @@
 //! * `!snapshot` — report the current snapshot version and fingerprints;
 //! * `!quit` — end the session;
 //! * blank lines and `%`/`#` comments are ignored (no reply).
+//!
+//! Any request may carry a leading `@trace=<id>` directive (1–16 hex
+//! chars) naming the request's trace id; without one a fresh id is minted
+//! per query. A malformed or duplicated directive is a typed error.
 //!
 //! Every reply except `!metrics` is a single-line JSON object with an
 //! `"ok"` field; errors are `{"ok":false,"error":"..."}` and never kill the
@@ -30,7 +41,8 @@ use recurs_datalog::parser::parse_atom;
 use recurs_datalog::relation::Tuple;
 use recurs_datalog::symbol::Symbol;
 use recurs_datalog::term::Term;
-use recurs_ivm::FactOp;
+use recurs_ivm::{FactOp, DEFAULT_WHY_DEPTH};
+use recurs_obs::TraceId;
 use serde::{Serialize as _, Value};
 use std::io::{BufRead, Write};
 use std::time::Duration;
@@ -58,6 +70,10 @@ pub struct LineOptions {
     pub max_queue_wait: Option<Duration>,
     /// The client backoff hint rendered into shed replies, in milliseconds.
     pub retry_after_ms: u64,
+    /// The request's trace id, when the transport already resolved one
+    /// (e.g. from a TCP frame's `@trace=` directive). A directive on the
+    /// line itself takes precedence; with neither, queries mint a fresh id.
+    pub trace: Option<TraceId>,
 }
 
 /// A typed protocol-level failure, rendered as a one-line JSON error reply.
@@ -119,11 +135,44 @@ pub fn handle_line_with(service: &QueryService, line: &str, opts: &LineOptions) 
     })
 }
 
+/// Strips leading `@trace=<id>` directives. A duplicate or malformed
+/// directive is a typed error; the id (if any) and the remaining request
+/// text are returned.
+fn strip_trace_directive(line: &str) -> Result<(&str, Option<TraceId>), ProtoError> {
+    let mut rest = line;
+    let mut trace = None;
+    while let Some(after) = rest.strip_prefix("@trace=") {
+        let (token, remainder) = match after.split_once(char::is_whitespace) {
+            Some((t, r)) => (t, r),
+            None => (after, ""),
+        };
+        if trace.is_some() {
+            return Err("duplicate @trace directive".to_string().into());
+        }
+        let id = TraceId::parse(token).map_err(|e| format!("bad @trace directive: {e}"))?;
+        trace = Some(id);
+        rest = remainder.trim_start();
+    }
+    Ok((rest, trace))
+}
+
+/// Strips the optional `?-` prefix and trailing `.` from a query body.
+fn query_text(line: &str) -> &str {
+    let text = line.strip_prefix("?-").unwrap_or(line).trim();
+    text.strip_suffix('.').unwrap_or(text).trim()
+}
+
 fn handle_request(
     service: &QueryService,
     line: &str,
     opts: &LineOptions,
 ) -> Result<Value, ProtoError> {
+    let (line, directive_trace) = strip_trace_directive(line)?;
+    let line = line.trim();
+    let trace = directive_trace.or(opts.trace);
+    if line.is_empty() {
+        return Err("empty request after @trace directive".to_string().into());
+    }
     if line == "!stats" {
         return Ok(Value::object([
             ("ok", Value::Bool(true)),
@@ -144,31 +193,63 @@ fn handle_request(
             ),
         ]));
     }
+    if line == "!explain" {
+        return Err("usage: !explain <query>".to_string().into());
+    }
+    if let Some(rest) = line.strip_prefix("!explain ") {
+        let query = parse_atom(query_text(rest.trim())).map_err(|e| e.to_string())?;
+        let default;
+        let budget = match &opts.budget {
+            Some(b) => b,
+            None => {
+                default = service.default_budget().clone();
+                &default
+            }
+        };
+        let trace = trace.unwrap_or_else(TraceId::mint);
+        return match service.explain(&query, budget, opts.max_queue_wait, trace) {
+            Ok(audit) => Ok(audit),
+            Err(ServeError::Overloaded { waited }) => Err(ProtoError::Overloaded { waited }),
+            Err(e) => Err(e.to_string().into()),
+        };
+    }
     if line.starts_with('+') || line.starts_with('-') {
         return apply_update_group(service, line).map_err(ProtoError::from);
     }
     if line.starts_with('!') {
         return Err(format!("unknown command: {line}").into());
     }
-    let text = line.strip_prefix("?-").unwrap_or(line).trim();
-    let text = text.strip_suffix('.').unwrap_or(text).trim();
+    if line == "why" {
+        return Err("usage: why <ground fact>".to_string().into());
+    }
+    if let Some(rest) = line.strip_prefix("why ") {
+        let text = rest.trim();
+        let text = text.strip_suffix('.').unwrap_or(text).trim();
+        let (pred, tuple) = parse_ground_fact(text)?;
+        let default;
+        let budget = match &opts.budget {
+            Some(b) => b,
+            None => {
+                default = service.default_budget().clone();
+                &default
+            }
+        };
+        return service
+            .why(pred, &tuple, DEFAULT_WHY_DEPTH, budget)
+            .map_err(|e| e.to_string().into());
+    }
+    let text = query_text(line);
     let query = parse_atom(text).map_err(|e| e.to_string())?;
-    let result = match (&opts.budget, opts.max_queue_wait) {
-        (None, None) => service.query(&query),
-        (Some(budget), None) => service.query_with_budget(&query, budget),
-        (budget, Some(max_wait)) => {
-            let default;
-            let budget = match budget {
-                Some(b) => b,
-                None => {
-                    default = service.default_budget().clone();
-                    &default
-                }
-            };
-            service.query_bounded(&query, budget, max_wait)
+    let default;
+    let budget = match &opts.budget {
+        Some(b) => b,
+        None => {
+            default = service.default_budget().clone();
+            &default
         }
     };
-    let reply = match result {
+    let trace = trace.unwrap_or_else(TraceId::mint);
+    let reply = match service.query_traced(&query, budget, opts.max_queue_wait, trace) {
         Ok(reply) => reply,
         Err(ServeError::Overloaded { waited }) => return Err(ProtoError::Overloaded { waited }),
         Err(e) => return Err(e.to_string().into()),
@@ -256,14 +337,18 @@ fn render_reply(query: &str, reply: &Reply) -> Value {
         .into_iter()
         .map(|t| Value::array(t.iter().map(|v| Value::string(v.as_str()))))
         .collect();
-    Value::object([
+    let mut fields = vec![
         ("ok", Value::Bool(true)),
         ("type", Value::string("answers")),
         ("query", Value::string(query)),
         ("count", reply.answers.len().to_value()),
         ("answers", Value::Array(rows)),
         ("stats", reply.stats.to_value()),
-    ])
+    ];
+    if let Some(trace) = reply.trace {
+        fields.push(("trace", Value::string(trace.to_string())));
+    }
+    Value::object(fields)
 }
 
 /// Serves the line protocol until EOF or `!quit`: one request per input
@@ -416,6 +501,74 @@ mod tests {
             "got {r}"
         );
         assert!(r.contains("recurs_serve_query_seconds_bucket"), "got {r}");
+    }
+
+    #[test]
+    fn trace_directive_tags_the_reply_and_minted_ids_appear_otherwise() {
+        let s = service();
+        let r = reply(&s, "@trace=deadbeef ?- P(1, y).");
+        assert!(r.contains("\"ok\":true"), "got {r}");
+        assert!(r.contains("\"trace\":\"00000000deadbeef\""), "got {r}");
+        // Without a directive the service mints one — a 16-hex-digit id.
+        let r = reply(&s, "?- P(1, y).");
+        let tag = r.split("\"trace\":\"").nth(1).expect("minted trace id");
+        assert_eq!(tag.split('"').next().unwrap().len(), 16, "got {r}");
+    }
+
+    #[test]
+    fn malformed_trace_directives_are_typed_errors() {
+        let s = service();
+        let r = reply(&s, "@trace= ?- P(1, y).");
+        assert!(r.contains("\"ok\":false"), "got {r}");
+        assert!(r.contains("bad @trace directive"), "got {r}");
+        let r = reply(&s, "@trace=xyz ?- P(1, y).");
+        assert!(r.contains("bad @trace directive"), "got {r}");
+        let r = reply(&s, "@trace=00112233445566778 ?- P(1, y).");
+        assert!(r.contains("bad @trace directive"), "got {r}");
+        let r = reply(&s, "@trace=1 @trace=2 ?- P(1, y).");
+        assert!(r.contains("duplicate @trace directive"), "got {r}");
+        let r = reply(&s, "@trace=1");
+        assert!(r.contains("\"ok\":false"), "got {r}");
+        // Still serving.
+        assert!(reply(&s, "?- P(1, y).").contains("\"ok\":true"));
+    }
+
+    #[test]
+    fn explain_replies_with_a_plan_audit() {
+        let s = service();
+        let r = reply(&s, "!explain P(1, y)");
+        assert!(r.contains("\"ok\":true"), "got {r}");
+        assert!(r.contains("\"type\":\"explain\""), "got {r}");
+        assert!(r.contains("\"classification\""), "got {r}");
+        assert!(r.contains("\"kernel\""), "got {r}");
+        assert!(r.contains("\"cache\""), "got {r}");
+        assert!(r.contains("\"spans\""), "got {r}");
+        let r = reply(&s, "@trace=feed !explain P(1, y)");
+        assert!(r.contains("\"trace\":\"000000000000feed\""), "got {r}");
+        let r = reply(&s, "!explain");
+        assert!(r.contains("usage"), "got {r}");
+        let r = reply(&s, "!explain Q(1, y)");
+        assert!(r.contains("\"ok\":false"), "got {r}");
+    }
+
+    #[test]
+    fn why_replies_with_a_derivation_tree_or_not_derived() {
+        let s = service();
+        let r = reply(&s, "why P(1, 3).");
+        assert!(r.contains("\"ok\":true"), "got {r}");
+        assert!(r.contains("\"type\":\"why\""), "got {r}");
+        assert!(r.contains("\"derived\":true"), "got {r}");
+        assert!(r.contains("\"tree\""), "got {r}");
+        assert!(r.contains("\"rule\":\"recursive\""), "got {r}");
+        let r = reply(&s, "why P(3, 1).");
+        assert!(r.contains("\"derived\":false"), "got {r}");
+        let r = reply(&s, "why");
+        assert!(r.contains("usage"), "got {r}");
+        let r = reply(&s, "why P(x, y).");
+        assert!(r.contains("\"ok\":false"), "got {r}");
+        let r = reply(&s, "why Q(1, 2).");
+        assert!(r.contains("\"ok\":false"), "got {r}");
+        assert!(r.contains("not served"), "got {r}");
     }
 
     #[test]

@@ -14,13 +14,19 @@ use recurs_datalog::eval::answer_query;
 use recurs_datalog::fingerprint::{self, Fingerprint};
 use recurs_datalog::govern::{EvalBudget, Outcome};
 use recurs_datalog::relation::Relation;
+use recurs_datalog::symbol::Symbol;
 use recurs_datalog::term::Atom;
 use recurs_engine::EngineMode;
-use recurs_ivm::{EdbDelta, FactOp, IdbPatch, Materialization};
+use recurs_igraph::component::ComponentKind;
+use recurs_ivm::{
+    explain_fact, verify_tree, DerivationNode, EdbDelta, FactOp, IdbPatch, Materialization,
+    WhyOutcome,
+};
 use recurs_obs::aggregate::Aggregator;
-use recurs_obs::{field, Obs};
+use recurs_obs::{field, FlightRecorder, Obs, SpanId, TraceCtx, TraceId};
+use serde::{Serialize as _, Value};
 use std::sync::{Arc, PoisonError, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -65,6 +71,9 @@ pub struct Reply {
     pub outcome: Outcome,
     /// What the query cost.
     pub stats: ServeStats,
+    /// The request-scoped trace id, when the query ran under a trace
+    /// context ([`QueryService::query_traced`]).
+    pub trace: Option<TraceId>,
 }
 
 /// What [`QueryService::apply_update`] did.
@@ -122,6 +131,8 @@ pub struct QueryService {
     view: RwLock<Option<ViewState>>,
     admission: Semaphore,
     metrics: Arc<Aggregator>,
+    /// Always-on ring of recent events, dumped on panic or forced drain.
+    flight: Arc<FlightRecorder>,
     obs: Obs,
     budget: EvalBudget,
     mode: EngineMode,
@@ -138,10 +149,12 @@ impl QueryService {
         let plans = PointPlans::new(lr);
         let program_fingerprint = fingerprint::of_program(&plans.recursion().to_program());
         // The service's own aggregator is always attached (it backs
-        // `stats()` and `!metrics`); an external recorder from the config
-        // sees the same stream through the fan-out.
+        // `stats()` and `!metrics`), as is the flight recorder (it backs
+        // postmortem dumps); an external recorder from the config sees the
+        // same stream through the fan-out.
         let metrics = Arc::new(Aggregator::default());
-        let mut sinks: Vec<Arc<dyn recurs_obs::Recorder>> = vec![metrics.clone()];
+        let flight = Arc::new(FlightRecorder::default());
+        let mut sinks: Vec<Arc<dyn recurs_obs::Recorder>> = vec![metrics.clone(), flight.clone()];
         if let Some(external) = config.obs.recorder() {
             sinks.push(external);
         }
@@ -156,6 +169,7 @@ impl QueryService {
             view: RwLock::new(None),
             admission: Semaphore::new(config.max_concurrent),
             metrics,
+            flight,
             obs,
             budget: config.budget,
             mode: config.mode,
@@ -344,7 +358,50 @@ impl QueryService {
         budget: &EvalBudget,
     ) -> Result<Reply, ServeError> {
         let (permit, queue_wait) = self.admission.acquire();
-        self.query_admitted(query, budget, permit, queue_wait)
+        self.query_admitted(query, budget, permit, queue_wait, None)
+    }
+
+    /// Answers a query under a request-scoped trace context: every event
+    /// the evaluation emits (admission, cache probe, kernel dispatch)
+    /// carries `trace`, and the request is decomposed into hierarchical
+    /// `span` events (`request` → `admission`/`cache`/`view`/`eval`/
+    /// `cache_store`) that `obsctl` reassembles into a timing tree.
+    ///
+    /// `max_wait = None` queues unboundedly (the stdin behavior); `Some`
+    /// bounds the admission wait and sheds with
+    /// [`ServeError::Overloaded`] past it, like
+    /// [`QueryService::query_bounded`].
+    pub fn query_traced(
+        &self,
+        query: &Atom,
+        budget: &EvalBudget,
+        max_wait: Option<Duration>,
+        trace: TraceId,
+    ) -> Result<Reply, ServeError> {
+        let ctx = TraceCtx::new(&self.obs, trace);
+        let root = ctx.root("request");
+        let root_id = root.id();
+        let admitted = {
+            let _adm = ctx.span("admission", root_id);
+            match max_wait {
+                None => Some(self.admission.acquire()),
+                Some(wait) => self.admission.try_acquire_for(wait),
+            }
+        };
+        match admitted {
+            Some((permit, queue_wait)) => {
+                self.query_admitted(query, budget, permit, queue_wait, Some((&ctx, root_id)))
+            }
+            None => {
+                let waited = max_wait.unwrap_or_default();
+                ctx.obs().counter("recurs_serve_queries_shed_total", &[], 1);
+                if ctx.obs().enabled() {
+                    ctx.obs()
+                        .event("serve.shed", &[("max_wait_us", field::us(waited))]);
+                }
+                Err(ServeError::Overloaded { waited })
+            }
+        }
     }
 
     /// Answers a query like [`QueryService::query_with_budget`], but waits
@@ -360,7 +417,9 @@ impl QueryService {
         max_wait: std::time::Duration,
     ) -> Result<Reply, ServeError> {
         match self.admission.try_acquire_for(max_wait) {
-            Some((permit, queue_wait)) => self.query_admitted(query, budget, permit, queue_wait),
+            Some((permit, queue_wait)) => {
+                self.query_admitted(query, budget, permit, queue_wait, None)
+            }
             None => {
                 self.obs.counter("recurs_serve_queries_shed_total", &[], 1);
                 if self.obs.enabled() {
@@ -373,15 +432,21 @@ impl QueryService {
     }
 
     /// The post-admission query path: cache probe, view/kernel dispatch,
-    /// caching, and stats. Holds `_permit` for the whole evaluation.
+    /// caching, and stats. Holds `_permit` for the whole evaluation. When a
+    /// trace context is supplied (`tr` = context + parent span), every
+    /// emission goes through its scoped handle and each phase is wrapped in
+    /// a child span.
     fn query_admitted(
         &self,
         query: &Atom,
         budget: &EvalBudget,
         _permit: Permit<'_>,
         queue_wait: std::time::Duration,
+        tr: Option<(&TraceCtx, SpanId)>,
     ) -> Result<Reply, ServeError> {
-        self.obs.observe(
+        let obs = tr.map_or(&self.obs, |(ctx, _)| ctx.obs());
+        let trace = tr.map(|(ctx, _)| ctx.id());
+        obs.observe(
             "recurs_serve_admission_wait_seconds",
             &[],
             queue_wait.as_secs_f64(),
@@ -395,31 +460,39 @@ impl QueryService {
             version: snapshot.version(),
             query: canonical_query_key(query),
         });
-        if let (Some(cache), Some(key)) = (&self.cache, &key) {
-            if let Some(answers) = cache.get(key) {
-                let stats = ServeStats {
-                    queue_wait,
-                    eval: start.elapsed(),
-                    cache: CacheOutcome::Hit,
-                    kernel,
-                    outcome: Outcome::Complete,
-                    answers: answers.len(),
-                    tuples_derived: 0,
-                    fixpoint_iterations: 0,
-                    snapshot_version: snapshot.version().get(),
-                };
-                self.record_query(&stats);
-                return Ok(Reply {
-                    answers,
-                    outcome: Outcome::Complete,
-                    stats,
-                });
-            }
+        let cached = if let (Some(cache), Some(key)) = (&self.cache, &key) {
+            let _probe = tr.map(|(ctx, parent)| ctx.span("cache", parent));
+            cache.get(key)
+        } else {
+            None
+        };
+        if let Some(answers) = cached {
+            let stats = ServeStats {
+                queue_wait,
+                eval: start.elapsed(),
+                cache: CacheOutcome::Hit,
+                kernel,
+                outcome: Outcome::Complete,
+                answers: answers.len(),
+                tuples_derived: 0,
+                fixpoint_iterations: 0,
+                snapshot_version: snapshot.version().get(),
+            };
+            self.record_query(obs, &stats);
+            return Ok(Reply {
+                answers,
+                outcome: Outcome::Complete,
+                stats,
+                trace,
+            });
         }
 
         // The maintained view answers with a plain select/project — no
         // evaluation at all — whenever its version matches the snapshot.
-        let view_answers = self.view_answers(&snapshot, query)?;
+        let view_answers = {
+            let _view = tr.map(|(ctx, parent)| ctx.span("view", parent));
+            self.view_answers(&snapshot, query)?
+        };
         let (answers, outcome, kernel, tuples_derived, fixpoint_iterations) = match view_answers {
             Some(answers) => (
                 Arc::new(answers),
@@ -429,11 +502,12 @@ impl QueryService {
                 0,
             ),
             None => {
+                let _eval = tr.map(|(ctx, parent)| ctx.span("eval", parent));
                 let point = self
                     .plans
-                    .answer(snapshot.database(), query, budget, self.mode, &self.obs)
+                    .answer(snapshot.database(), query, budget, self.mode, obs)
                     .inspect_err(|_| {
-                        self.obs.counter("recurs_serve_query_errors_total", &[], 1);
+                        obs.counter("recurs_serve_query_errors_total", &[], 1);
                     })?;
                 (
                     Arc::new(point.answers),
@@ -447,6 +521,7 @@ impl QueryService {
         // Only complete answers are cacheable: a truncated answer depends on
         // the budget that truncated it.
         if let (Some(cache), Some(key), true) = (&self.cache, key, outcome.is_complete()) {
+            let _store = tr.map(|(ctx, parent)| ctx.span("cache_store", parent));
             cache.insert(key, answers.clone(), QueryPattern::of(query));
         }
         let stats = ServeStats {
@@ -464,11 +539,12 @@ impl QueryService {
             fixpoint_iterations,
             snapshot_version: snapshot.version().get(),
         };
-        self.record_query(&stats);
+        self.record_query(obs, &stats);
         Ok(Reply {
             answers,
             outcome,
             stats,
+            trace,
         })
     }
 
@@ -497,8 +573,9 @@ impl QueryService {
     /// Feeds one answered query into the recorder: the per-kernel latency
     /// histogram, the labelled query counter, the summed-cost counters the
     /// derived [`ServiceStats`] view reads back, and a `serve.query` event.
-    fn record_query(&self, stats: &ServeStats) {
-        if !self.obs.enabled() {
+    /// `obs` is the (possibly trace-scoped) handle the request runs under.
+    fn record_query(&self, obs: &Obs, stats: &ServeStats) {
+        if !obs.enabled() {
             return;
         }
         let kernel = stats.kernel.family();
@@ -508,27 +585,27 @@ impl QueryService {
         } else {
             "truncated"
         };
-        self.obs.counter(
+        obs.counter(
             "recurs_serve_queries_total",
             &[("kernel", kernel), ("cache", cache), ("outcome", outcome)],
             1,
         );
-        self.obs.observe(
+        obs.observe(
             "recurs_serve_query_seconds",
             &[("kernel", kernel)],
             stats.eval.as_secs_f64(),
         );
-        self.obs.counter(
+        obs.counter(
             "recurs_serve_queue_wait_us_total",
             &[],
             stats.queue_wait.as_micros() as u64,
         );
-        self.obs.counter(
+        obs.counter(
             "recurs_serve_eval_us_total",
             &[],
             stats.eval.as_micros() as u64,
         );
-        self.obs.counter(
+        obs.counter(
             "recurs_serve_tuples_derived_total",
             &[],
             stats.tuples_derived as u64,
@@ -547,7 +624,7 @@ impl QueryService {
         if let Some(reason) = stats.outcome.truncation() {
             fields.push(("truncation", field::s(reason.to_string())));
         }
-        self.obs.event("serve.query", &fields);
+        obs.event("serve.query", &fields);
     }
 
     /// Which kernel the dispatcher would select for a query.
@@ -619,6 +696,338 @@ impl QueryService {
     pub fn cache_len(&self) -> usize {
         self.cache.as_ref().map_or(0, SaturationCache::len)
     }
+
+    /// The flight recorder's retained events as JSON lines — the postmortem
+    /// payload a front end writes to disk when a worker panics or a drain
+    /// is forced. Same shape as the trace sink, so `obsctl` reads it.
+    pub fn postmortem_jsonl(&self) -> String {
+        self.flight.to_jsonl()
+    }
+
+    /// Answers a query under a trace context *and* audits the plan: the
+    /// reply is a JSON object carrying the classification verdict (with
+    /// per-component I-graph cycle weights), which kernel ran and why, how
+    /// the cache participated, the budget ceilings and headroom, and the
+    /// request's span breakdown — whose root span covers the measured
+    /// latency. This is the `!explain <query>` protocol command.
+    pub fn explain(
+        &self,
+        query: &Atom,
+        budget: &EvalBudget,
+        max_wait: Option<Duration>,
+        trace: TraceId,
+    ) -> Result<Value, ServeError> {
+        // Fan the request's emissions out to the normal sinks *plus* a
+        // private capture, so the span breakdown can be read back without
+        // requiring a trace file to be configured.
+        let capture = Arc::new(recurs_obs::CaptureRecorder::new());
+        let mut sinks: Vec<Arc<dyn recurs_obs::Recorder>> = Vec::with_capacity(2);
+        if let Some(inner) = self.obs.recorder() {
+            sinks.push(inner);
+        }
+        sinks.push(capture.clone());
+        let base = Obs::fanout(sinks);
+        let ctx = TraceCtx::new(&base, trace);
+
+        let started = Instant::now();
+        let reply = {
+            let root = ctx.root("request");
+            let root_id = root.id();
+            let admitted = {
+                let _adm = ctx.span("admission", root_id);
+                match max_wait {
+                    None => Some(self.admission.acquire()),
+                    Some(wait) => self.admission.try_acquire_for(wait),
+                }
+            };
+            match admitted {
+                Some((permit, queue_wait)) => {
+                    self.query_admitted(query, budget, permit, queue_wait, Some((&ctx, root_id)))?
+                }
+                None => {
+                    return Err(ServeError::Overloaded {
+                        waited: max_wait.unwrap_or_default(),
+                    })
+                }
+            }
+        };
+        let measured_us = started.elapsed().as_micros() as u64;
+
+        let spans: Vec<Value> = capture
+            .events_of("span")
+            .iter()
+            .map(|e| {
+                Value::object([
+                    ("name", Value::string(e.text("name").unwrap_or("?"))),
+                    ("span", Value::UInt(e.uint("span").unwrap_or(0))),
+                    ("parent", Value::UInt(e.uint("parent").unwrap_or(0))),
+                    ("start_us", Value::UInt(e.uint("start_us").unwrap_or(0))),
+                    ("dur_us", Value::UInt(e.uint("dur_us").unwrap_or(0))),
+                ])
+            })
+            .collect();
+
+        let stats = &reply.stats;
+        let kernel_reason = match (stats.cache, stats.kernel) {
+            (CacheOutcome::Hit, _) => {
+                "answered from the saturation cache for this snapshot version; no kernel ran"
+                    .to_string()
+            }
+            (_, PointKernelKind::BoundedUnroll { rank }) => format!(
+                "proven rank bound {rank}: the answer is the union of {} non-recursive \
+                 unrolled levels, so no fixpoint loop runs",
+                rank + 1
+            ),
+            (_, PointKernelKind::MagicIterate) => {
+                "one-directional recursion with a bound argument: magic-sets iteration \
+                 seeded from the query constants"
+                    .to_string()
+            }
+            (_, PointKernelKind::MaterializedView) => {
+                "the maintained materialized view is exact for this snapshot version: \
+                 plain select/project, no evaluation"
+                    .to_string()
+            }
+            (_, PointKernelKind::FullSaturation) => {
+                "no proven rank bound and no usable binding: governed full saturation, \
+                 then select/project"
+                    .to_string()
+            }
+        };
+        let iters = stats.fixpoint_iterations;
+        let tuples = stats.tuples_derived;
+        let budget_v = Value::object([
+            (
+                "timeout_ms",
+                budget
+                    .timeout
+                    .map_or(Value::Null, |d| Value::UInt(d.as_millis() as u64)),
+            ),
+            ("max_tuples", opt_uz(budget.max_tuples)),
+            ("max_iterations", opt_uz(budget.max_iterations)),
+            ("spent_iterations", Value::UInt(iters as u64)),
+            ("spent_tuples", Value::UInt(tuples as u64)),
+            (
+                "iterations_left",
+                opt_uz(budget.max_iterations.map(|c| c.saturating_sub(iters))),
+            ),
+            (
+                "tuples_left",
+                opt_uz(budget.max_tuples.map(|c| c.saturating_sub(tuples))),
+            ),
+        ]);
+        let audit = Value::object([
+            ("ok", Value::Bool(true)),
+            ("type", Value::string("explain")),
+            ("trace", Value::string(trace.to_string())),
+            ("query", Value::string(format!("{query}"))),
+            (
+                "classification",
+                classification_value(self.classification()),
+            ),
+            (
+                "kernel",
+                Value::object([
+                    ("choice", Value::string(stats.kernel.label())),
+                    ("family", Value::string(stats.kernel.family())),
+                    ("reason", Value::string(kernel_reason)),
+                ]),
+            ),
+            (
+                "cache",
+                Value::object([
+                    ("outcome", stats.cache.to_value()),
+                    ("snapshot_version", stats.snapshot_version.to_value()),
+                    ("entries", self.cache_len().to_value()),
+                ]),
+            ),
+            ("budget", budget_v),
+            ("outcome", stats.outcome.to_value()),
+            ("answers", stats.answers.to_value()),
+            (
+                "queue_wait_us",
+                (stats.queue_wait.as_micros() as u64).to_value(),
+            ),
+            ("measured_us", Value::UInt(measured_us)),
+            ("spans", Value::Array(spans)),
+        ]);
+        if self.obs.enabled() {
+            ctx.obs().event(
+                "serve.explain",
+                &[
+                    ("kernel", field::s(stats.kernel.label())),
+                    ("cache", field::s(stats.cache.label())),
+                    ("measured_us", field::u(measured_us)),
+                ],
+            );
+        }
+        Ok(audit)
+    }
+
+    /// Explains why a ground fact of the served predicate is (or is not)
+    /// derivable over the current snapshot: a depth-bounded backward
+    /// reconstruction of a derivation tree, seeded from the maintained
+    /// view's derivation counts when the view is exact for the snapshot,
+    /// and cross-checked structurally before it is returned. This is the
+    /// `why <fact>` protocol command and `run --why`.
+    pub fn why(
+        &self,
+        predicate: Symbol,
+        tuple: &recurs_datalog::relation::Tuple,
+        max_depth: u64,
+        budget: &EvalBudget,
+    ) -> Result<Value, ServeError> {
+        let lr = self.plans.recursion();
+        if predicate != lr.predicate {
+            return Err(ServeError::WrongPredicate {
+                got: predicate,
+                serves: lr.predicate,
+            });
+        }
+        let start = Instant::now();
+        let snapshot = self.store.load();
+        // The maintained view's derivation counts are an O(1) oracle for
+        // membership: count 0 short-circuits the reconstruction entirely.
+        let view_count = {
+            let guard = self.view.read().unwrap_or_else(PoisonError::into_inner);
+            match &*guard {
+                Some(vs) if vs.version == snapshot.version() => Some(vs.mat.count(tuple)),
+                _ => None,
+            }
+        };
+        let fact = render_fact(predicate, tuple);
+        let outcome = if view_count == Some(0) {
+            WhyOutcome::NotDerived
+        } else {
+            explain_fact(lr, snapshot.database(), tuple, max_depth, budget)?
+        };
+        let elapsed = start.elapsed();
+        let mut fields = vec![
+            ("ok", Value::Bool(true)),
+            ("type", Value::string("why")),
+            ("fact", Value::string(&fact)),
+            ("snapshot_version", Value::UInt(snapshot.version().get())),
+            ("view_seeded", Value::Bool(view_count.is_some())),
+        ];
+        let derived;
+        match outcome {
+            WhyOutcome::Derived(tree) => {
+                // A tree that fails the structural check is a provenance
+                // bug, not a client error — refuse to present it.
+                if let Err(defect) = verify_tree(lr, snapshot.database(), &tree) {
+                    if self.obs.enabled() {
+                        self.obs.event(
+                            "serve.why",
+                            &[("fact", field::s(&fact)), ("defect", field::s(defect))],
+                        );
+                    }
+                    return Err(ServeError::Engine(recurs_engine::EngineError::Internal(
+                        "derivation tree failed structural verification",
+                    )));
+                }
+                derived = true;
+                fields.push(("derived", Value::Bool(true)));
+                fields.push(("depth", Value::UInt(tree.depth() as u64)));
+                fields.push(("size", Value::UInt(tree.size() as u64)));
+                fields.push(("tree", tree_value(&tree)));
+            }
+            WhyOutcome::NotDerived => {
+                derived = false;
+                fields.push(("derived", Value::Bool(false)));
+            }
+            WhyOutcome::DepthExceeded { rank, max_depth } => {
+                derived = true;
+                fields.push(("derived", Value::Bool(true)));
+                fields.push(("truncated", Value::Bool(true)));
+                fields.push(("rank", Value::UInt(rank)));
+                fields.push(("max_depth", Value::UInt(max_depth)));
+            }
+        }
+        if self.obs.enabled() {
+            self.obs.event(
+                "serve.why",
+                &[
+                    ("fact", field::s(fact)),
+                    ("derived", field::b(derived)),
+                    ("eval_us", field::us(elapsed)),
+                ],
+            );
+        }
+        Ok(Value::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        ))
+    }
+}
+
+/// `Some(n)` → JSON number, `None` → JSON null.
+fn opt_uz(v: Option<usize>) -> Value {
+    v.map_or(Value::Null, |n| Value::UInt(n as u64))
+}
+
+/// Renders `pred(c1, c2)` for a ground tuple.
+fn render_fact(predicate: Symbol, tuple: &recurs_datalog::relation::Tuple) -> String {
+    let args: Vec<&str> = tuple.iter().map(|v| v.as_str()).collect();
+    format!("{predicate}({})", args.join(", "))
+}
+
+/// The classification verdict as JSON, mirroring the CLI's
+/// `classify.verdict` event: overall class, per-component class labels with
+/// I-graph cycle counts and (for independent cycles) weight/directionality,
+/// and the proven rank bound when one exists.
+fn classification_value(c: &Classification) -> Value {
+    let mut class_iter = c.component_classes.iter();
+    let components: Vec<Value> = c
+        .components
+        .iter()
+        .filter(|comp| comp.is_nontrivial())
+        .map(|comp| {
+            let label = class_iter.next().map_or("?", |cl| cl.label());
+            let mut fields = vec![
+                ("class", Value::string(label)),
+                ("cycles", Value::UInt(comp.cycles.len() as u64)),
+            ];
+            if let ComponentKind::IndependentCycle(cy) = &comp.kind {
+                fields.push(("weight", Value::UInt(cy.magnitude())));
+                fields.push(("one_directional", Value::Bool(cy.one_directional)));
+                fields.push(("rotational", Value::Bool(cy.rotational)));
+            }
+            Value::object(fields)
+        })
+        .collect();
+    let mut fields = vec![
+        ("class", Value::string(c.class.label())),
+        ("components", Value::Array(components)),
+        (
+            "one_directional",
+            Value::Bool(c.is_transformable_to_stable()),
+        ),
+    ];
+    if let Some(rank) = c.rank_bound() {
+        fields.push(("rank_bound", Value::UInt(rank)));
+    }
+    Value::object(fields)
+}
+
+/// A derivation tree as nested JSON: `{"fact":"P(1, 2)","rule":
+/// "recursive","children":[...]}` with leaves labelled `"edb"` and exit
+/// rules `"exit[i]"`.
+fn tree_value(node: &DerivationNode) -> Value {
+    let rule = match node.rule {
+        None => "edb".to_string(),
+        Some(0) => "recursive".to_string(),
+        Some(i) => format!("exit[{}]", i - 1),
+    };
+    Value::object([
+        ("fact", Value::string(node.fact())),
+        ("rule", Value::string(rule)),
+        (
+            "children",
+            Value::Array(node.children.iter().map(tree_value).collect()),
+        ),
+    ])
 }
 
 #[cfg(test)]
@@ -942,6 +1351,166 @@ mod tests {
         let text = service.metrics_text();
         assert!(text.contains("recurs_serve_queries_total"));
         assert!(text.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn traced_query_emits_spans_and_trace_tagged_events() {
+        let capture = std::sync::Arc::new(recurs_obs::CaptureRecorder::new());
+        let service = tc_service(
+            8,
+            ServeConfig {
+                obs: recurs_obs::Obs::new(capture.clone()),
+                ..ServeConfig::default()
+            },
+        );
+        let q = parse_atom("P(1, y)").unwrap();
+        let trace = TraceId::from_u64(0xabcd);
+        let reply = service
+            .query_traced(&q, &EvalBudget::unlimited(), None, trace)
+            .unwrap();
+        assert_eq!(reply.trace, Some(trace));
+        // The request decomposed into spans, all under one root.
+        let spans = capture.events_of("span");
+        let names: Vec<_> = spans.iter().filter_map(|e| e.text("name")).collect();
+        assert!(names.contains(&"request"), "spans: {names:?}");
+        assert!(names.contains(&"admission"), "spans: {names:?}");
+        assert!(names.contains(&"cache"), "spans: {names:?}");
+        assert!(names.contains(&"eval"), "spans: {names:?}");
+        assert!(names.contains(&"cache_store"), "spans: {names:?}");
+        for span in &spans {
+            assert_eq!(span.text("trace"), Some("000000000000abcd"));
+        }
+        // The request's serve.query event carries the same trace id.
+        let queries = capture.events_of("serve.query");
+        assert_eq!(queries.len(), 1);
+        assert_eq!(queries[0].text("trace"), Some("000000000000abcd"));
+        // A second traced query hits the cache: no eval span this time.
+        let reply = service
+            .query_traced(&q, &EvalBudget::unlimited(), None, TraceId::from_u64(1))
+            .unwrap();
+        assert_eq!(reply.stats.cache, CacheOutcome::Hit);
+        let hit_spans: Vec<_> = capture
+            .events_of("span")
+            .iter()
+            .filter(|e| e.text("trace") == Some("0000000000000001"))
+            .filter_map(|e| e.text("name").map(str::to_string))
+            .collect();
+        assert!(hit_spans.contains(&"cache".to_string()));
+        assert!(!hit_spans.contains(&"eval".to_string()), "{hit_spans:?}");
+    }
+
+    #[test]
+    fn explain_audits_the_plan_with_span_timings_near_measured_latency() {
+        let service = tc_service(800, ServeConfig::default());
+        let q = parse_atom("P(1, y)").unwrap();
+        let audit = service
+            .explain(
+                &q,
+                &EvalBudget::unlimited().with_max_iterations(100_000),
+                None,
+                TraceId::from_u64(9),
+            )
+            .unwrap();
+        let text = serde::json::to_string(&audit);
+        assert!(text.contains("\"type\":\"explain\""), "{text}");
+        assert!(text.contains("\"trace\":\"0000000000000009\""), "{text}");
+        assert!(text.contains("\"classification\""), "{text}");
+        assert!(text.contains("\"one_directional\":true"), "{text}");
+        assert!(text.contains("\"weight\""), "{text}");
+        assert!(text.contains("\"choice\":\"magic\""), "{text}");
+        assert!(text.contains("\"reason\""), "{text}");
+        assert!(text.contains("\"outcome\":{\"complete\":true"), "{text}");
+        assert!(text.contains("\"max_iterations\":100000"), "{text}");
+        assert!(text.contains("\"name\":\"request\""), "{text}");
+        // The span breakdown accounts for the measured request latency: the
+        // root span covers everything between admission and reply.
+        let Some(Value::UInt(measured)) = audit.get("measured_us") else {
+            panic!("missing measured_us in {text}");
+        };
+        let Some(Value::Array(spans)) = audit.get("spans") else {
+            panic!("missing spans in {text}");
+        };
+        let root_dur = spans
+            .iter()
+            .find(|s| s.get("parent") == Some(&Value::UInt(0)))
+            .and_then(|s| match s.get("dur_us") {
+                Some(Value::UInt(d)) => Some(*d),
+                _ => None,
+            })
+            .expect("root span present");
+        let drift = measured.abs_diff(root_dur);
+        assert!(
+            drift * 10 <= *measured,
+            "root span {root_dur}us vs measured {measured}us drifts more than 10%"
+        );
+    }
+
+    #[test]
+    fn why_returns_a_verified_tree_or_not_derived() {
+        let service = tc_service(5, ServeConfig::default());
+        let p = recurs_datalog::symbol::Symbol::intern("P");
+        let derived = service
+            .why(p, &tuple_u64([1, 4]), 1_000, &EvalBudget::unlimited())
+            .unwrap();
+        let text = serde::json::to_string(&derived);
+        assert!(text.contains("\"derived\":true"), "{text}");
+        assert!(text.contains("\"tree\""), "{text}");
+        assert!(text.contains("\"rule\":\"recursive\""), "{text}");
+        assert!(text.contains("\"rule\":\"edb\""), "{text}");
+        assert!(text.contains("\"view_seeded\":false"), "{text}");
+        let missing = service
+            .why(p, &tuple_u64([4, 1]), 1_000, &EvalBudget::unlimited())
+            .unwrap();
+        let text = serde::json::to_string(&missing);
+        assert!(text.contains("\"derived\":false"), "{text}");
+        // Wrong predicate is a typed error.
+        let q = recurs_datalog::symbol::Symbol::intern("Q");
+        assert!(matches!(
+            service.why(q, &tuple_u64([1, 2]), 10, &EvalBudget::unlimited()),
+            Err(ServeError::WrongPredicate { .. })
+        ));
+    }
+
+    #[test]
+    fn why_seeds_from_the_maintained_view_when_exact() {
+        let service = tc_service(5, ServeConfig::default());
+        let e = recurs_datalog::symbol::Symbol::intern("E");
+        // A fact update builds the view, making count() available.
+        service
+            .apply_update(&[FactOp::Insert(e, tuple_u64([1, 5]))])
+            .unwrap();
+        let p = recurs_datalog::symbol::Symbol::intern("P");
+        let derived = service
+            .why(p, &tuple_u64([1, 4]), 1_000, &EvalBudget::unlimited())
+            .unwrap();
+        let text = serde::json::to_string(&derived);
+        assert!(text.contains("\"view_seeded\":true"), "{text}");
+        assert!(text.contains("\"derived\":true"), "{text}");
+        let missing = service
+            .why(p, &tuple_u64([4, 1]), 1_000, &EvalBudget::unlimited())
+            .unwrap();
+        let text = serde::json::to_string(&missing);
+        assert!(text.contains("\"view_seeded\":true"), "{text}");
+        assert!(text.contains("\"derived\":false"), "{text}");
+    }
+
+    #[test]
+    fn flight_recorder_retains_recent_events_for_postmortem() {
+        let service = tc_service(6, ServeConfig::default());
+        let q = parse_atom("P(1, y)").unwrap();
+        service.query(&q).unwrap();
+        service
+            .update(|db| db.insert("A", tuple_u64([6, 7])).map(|_| ()))
+            .unwrap();
+        let dump = service.postmortem_jsonl();
+        assert!(!dump.is_empty());
+        assert!(dump.contains("\"kind\":\"serve.query\""), "{dump}");
+        assert!(dump.contains("\"kind\":\"serve.snapshot\""), "{dump}");
+        // Every line parses as the trace-sink JSON shape.
+        for line in dump.lines() {
+            let v = recurs_obs::jsonl::parse(line).unwrap();
+            assert!(v.get("seq").is_some() && v.get("kind").is_some(), "{line}");
+        }
     }
 
     #[test]

@@ -182,6 +182,45 @@ fn garbage_after_a_valid_frame_is_contained_to_that_connection() {
 }
 
 #[test]
+fn malformed_trace_directives_are_typed_errors_and_never_hang() {
+    let server = spawn();
+    let mut stream = raw_connect(&server.addr);
+    // Every corpus entry gets exactly one typed protocol error on the same
+    // surviving connection: oversized ids, non-hex ids, empty ids,
+    // duplicates, and bad combinations with @deadline.
+    let corpus: &[&[u8]] = &[
+        b"@trace=00112233445566778 ?- P(1, y).", // 17 hex digits: too long
+        b"@trace=not-hex ?- P(1, y).",
+        b"@trace= ?- P(1, y).",
+        b"@trace=ff @trace=ff ?- P(1, y).",
+        b"@trace=ff @deadline=oops ?- P(1, y).",
+        b"@deadline=100 @trace=xyz ?- P(1, y).",
+        b"@trace=\xc3\x28 ?- P(1, y).", // invalid UTF-8 inside the id
+    ];
+    for payload in corpus {
+        write_frame(&mut stream, payload).expect("write frame");
+        let reply = reply_of(&mut stream);
+        assert_eq!(
+            json_str_field(&reply, "type"),
+            Some("protocol"),
+            "payload {payload:?} got {reply}"
+        );
+        assert!(reply.contains("\"ok\":false"), "{reply}");
+    }
+    // A well-formed traced query on the same connection still works, and
+    // the reply echoes the id zero-padded to 16 hex digits.
+    write_frame(&mut stream, b"@trace=beef @deadline=5000 ?- P(1, y).").expect("write query");
+    let reply = reply_of(&mut stream);
+    assert_eq!(json_str_field(&reply, "type"), Some("answers"), "{reply}");
+    assert_eq!(
+        json_str_field(&reply, "trace"),
+        Some("000000000000beef"),
+        "{reply}"
+    );
+    server.assert_alive_and_shut_down();
+}
+
+#[test]
 fn a_burst_of_malformed_connections_does_not_exhaust_the_server() {
     let server = spawn();
     for round in 0..10 {

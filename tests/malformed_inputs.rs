@@ -95,6 +95,8 @@ fn cli_run_reports_typed_errors_for_bad_programs() {
                 stats_json: false,
                 trace: None,
                 metrics: false,
+                why: None,
+                why_depth: recurs_ivm::DEFAULT_WHY_DEPTH,
             },
             src,
         )
